@@ -1,0 +1,102 @@
+"""Ablation: each rung of the optimization ladder in isolation (section 4).
+
+The paper applies its improvements "in increasing order of difficulty" but
+reports only aggregated points; this ablation measures every rung's
+individual contribution to the two critical paths of the SMD example:
+
+* microcode peephole (redundant-jump removal),
+* storage promotion (external -> internal -> registers),
+* constant-argument routine specialization,
+* a second TEP (with the declared mutual exclusions),
+
+each applied *alone* on top of the 16-bit M/D baseline, plus the full
+Improver trajectory for comparison.
+"""
+
+from repro.flow import Improver, ascii_table, build_system
+from repro.flow.improve import hot_globals
+from repro.isa import MD16_TEP, StorageClass
+from repro.workloads import SMD_MUTUAL_EXCLUSIONS, SMD_ROUTINES
+
+
+def _paths(system):
+    paths = system.critical_paths()
+    return max(paths["X_PULSE"], paths["Y_PULSE"]), paths["DATA_VALID"]
+
+
+def test_ablation_ladder(smd, reference_system, benchmark):
+    def ablate():
+        baseline_xy, baseline_dv = _paths(reference_system)
+        promotion_map = {name: StorageClass.INTERNAL
+                         for name in hot_globals(reference_system)}
+        variants = {
+            "baseline (none)": build_system(smd, SMD_ROUTINES, MD16_TEP),
+            "peephole only": build_system(
+                smd, SMD_ROUTINES, MD16_TEP.with_(microcode_optimized=True)),
+            "promotion only": build_system(
+                smd, SMD_ROUTINES, MD16_TEP, storage_map=promotion_map),
+            "specialization only": build_system(
+                smd, SMD_ROUTINES, MD16_TEP, specialize=True),
+            "second TEP only": build_system(
+                smd, SMD_ROUTINES,
+                MD16_TEP.with_(n_teps=2,
+                               mutual_exclusions=SMD_MUTUAL_EXCLUSIONS)),
+        }
+        return baseline_xy, baseline_dv, {
+            name: (_paths(system) + (system.area().total_clbs,))
+            for name, system in variants.items()}
+
+    baseline_xy, baseline_dv, results = benchmark.pedantic(
+        ablate, rounds=1, iterations=1)
+
+    rows = []
+    for name, (xy, dv, area) in results.items():
+        rows.append((name, area, xy, f"{xy / baseline_xy:.2f}x",
+                     dv, f"{dv / baseline_dv:.2f}x"))
+    print()
+    print(ascii_table(
+        ["Rung (alone)", "Area", "X/Y", "vs base", "DATA_VALID", "vs base"],
+        rows, title="Ablation: individual optimization rungs"))
+
+    # every rung except the baseline improves both paths
+    for name, (xy, dv, _) in results.items():
+        if name == "baseline (none)":
+            continue
+        assert xy < baseline_xy, name
+        assert dv < baseline_dv, name
+    # the second TEP is the strongest single rung on the X/Y path (it is
+    # the paper's "last resort" precisely because it is the big hammer)
+    xy_by_rung = {name: xy for name, (xy, _, _) in results.items()
+                  if name != "baseline (none)"}
+    assert min(xy_by_rung, key=xy_by_rung.get) == "second TEP only"
+    benchmark.extra_info["ablation"] = {
+        name: values[:2] for name, values in results.items()}
+
+
+def test_improver_trajectory(smd, benchmark):
+    """The automated ladder: from the selected architecture to a solution."""
+    def improve():
+        improver = Improver(smd, SMD_ROUTINES,
+                            mutual_exclusions=SMD_MUTUAL_EXCLUSIONS,
+                            max_teps=2)
+        return improver.run()
+
+    result = benchmark.pedantic(improve, rounds=1, iterations=1)
+
+    rows = [(step.rung, step.area_clbs,
+             max(step.critical_paths["X_PULSE"],
+                 step.critical_paths["Y_PULSE"]),
+             step.critical_paths["DATA_VALID"], step.n_violations)
+            for step in result.steps]
+    print()
+    print(ascii_table(
+        ["Rung", "Area", "X/Y", "DATA_VALID", "violations"],
+        rows, title="Improver trajectory (automated ladder)"))
+
+    assert result.steps[0].rung == "baseline"
+    assert result.steps[0].n_violations > 0
+    # violations never increase along the ladder's committed steps
+    # (each rung keeps the previous ones)
+    assert result.steps[-1].n_violations <= result.steps[0].n_violations
+    benchmark.extra_info["rungs"] = [step.rung for step in result.steps]
+    benchmark.extra_info["solved"] = result.success

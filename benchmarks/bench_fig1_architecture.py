@@ -1,0 +1,38 @@
+"""Fig. 1 + Fig. 3: the generated PSCP and TEP structure.
+
+Regenerates the architecture overview (Fig. 1's blocks: SLA, CR, TAT,
+scheduler, buses, TEPs) and the TEP-internal block list (Fig. 3: calculation
+unit with ACC/OP and ALU, RAM, microprogrammed controller) from the final
+SMD system, and emits the structural VHDL skeleton.  The benchmarked kernel
+is the area/structure generation.
+"""
+
+from repro.flow import architecture_figure
+from repro.hw import emit_pscp_skeleton
+
+FIG1_SHARED_BLOCKS = {"scheduler", "sla", "configuration-register",
+                      "transition-address-table", "bus-architecture",
+                      "mutex-decode"}
+FIG3_TEP_BLOCKS = {"calculation-unit", "acc-op-registers", "shifter",
+                   "internal-ram", "microcontrol", "address-logic",
+                   "port-interface", "condition-cache", "sla-interface",
+                   "muldiv-unit"}
+
+
+def test_fig1_fig3_architecture(final_system, benchmark):
+    estimate = benchmark(final_system.area)
+
+    print()
+    print(architecture_figure(final_system))
+    print()
+    skeleton = emit_pscp_skeleton(final_system.arch)
+    print(skeleton)
+
+    shared_names = {component.name for component in estimate.shared}
+    tep_names = {component.name for component in estimate.per_tep}
+    assert shared_names == FIG1_SHARED_BLOCKS
+    assert FIG3_TEP_BLOCKS <= tep_names
+    assert estimate.n_teps == 2
+    assert "u_tep0" in skeleton and "u_tep1" in skeleton
+    assert "u_sla" in skeleton and "u_scheduler" in skeleton
+    benchmark.extra_info["total_clbs"] = estimate.total_clbs

@@ -1,0 +1,77 @@
+"""Fig. 2a / Fig. 2b: the textual statechart format and the intermediate C.
+
+Round-trips the Fig. 2a fragment through the parser/emitter and regenerates
+the Fig. 2b artifacts (the preamble types and the port declarations with
+their addresses).  The benchmarked kernel is the full front end on the SMD
+chart + routine sources.
+"""
+
+from repro.action import parse_with_preamble
+from repro.action.check import Externals, check_program
+from repro.statechart import emit_chart, parse_chart
+from repro.workloads import SMD_ROUTINES, smd_chart
+
+FIG_2A_FRAGMENT = """
+basicstate Errstate {
+  transition {
+    target Idle1;
+    label "INIT or ALLRESET/InitializeAll()"
+  }
+}
+andstate Operation {
+  contains DataPreparation, ReachPosition;
+  transition {
+    target Idle1;
+    label "INIT or ALLRESET/InitializeAll()";
+  }
+  transition {
+    target Errstate;
+    label "ERROR/Stop()";
+  }
+}
+orstate DataPreparation {
+  contains OpcodeReady, EmptyBuf, Bounds, NoData;
+  default OpcodeReady;
+}
+basicstate OpcodeReady {}
+basicstate EmptyBuf {}
+basicstate Bounds {}
+basicstate NoData {}
+basicstate ReachPosition {}
+basicstate Idle1 {}
+event INIT; event ALLRESET; event ERROR;
+"""
+
+
+def test_fig2_formats(smd, benchmark):
+    def front_end():
+        chart = parse_chart(FIG_2A_FRAGMENT, name="fig2a")
+        text = emit_chart(chart)
+        again = parse_chart(text)
+        program = parse_with_preamble(SMD_ROUTINES)
+        checked = check_program(program, Externals.from_chart(smd))
+        return chart, again, checked
+
+    chart, again, checked = benchmark(front_end)
+
+    print()
+    print("--- Fig. 2a round-trip (emitted form) ---")
+    print(emit_chart(chart))
+    print("--- Fig. 2b: preamble types present ---")
+    struct_names = [s.name for s in checked.program.structs]
+    enum_names = [e.name for e in checked.program.enums]
+    print("enums:", enum_names)
+    print("structs:", struct_names)
+    print("--- Fig. 2b: port architecture (addresses in octal) ---")
+    for port in smd.ports.values():
+        print(f"  Port {port.name} = {{{port.kind.value}, {port.width}, "
+              f"0{port.address:o}, {port.direction.value}}}")
+
+    assert set(again.states) == set(chart.states)
+    assert again.states["DataPreparation"].default == "OpcodeReady"
+    assert {"ECD", "Encoding", "PortDir"} <= set(enum_names)
+    assert {"Port", "EventCondition"} <= set(struct_names)
+    # Fig. 2b's example addresses appear in the SMD port map
+    addresses = {port.address for port in smd.ports.values()}
+    assert 0o700 in addresses and 0o712 in addresses and 0o717 in addresses
+    benchmark.extra_info["ports"] = len(smd.ports)

@@ -1,0 +1,80 @@
+"""Fig. 5 / Fig. 6: the SMD statecharts themselves.
+
+The two figures are the *inputs* of the evaluation; this benchmark verifies
+that the reconstructed chart contains exactly the states and label elements
+the figures show, emits the textual format (the Fig. 2a view of Fig. 5/6)
+and the DOT rendering, and round-trips through the parser.  The benchmarked
+kernel is chart construction + validation + emission.
+"""
+
+from repro.statechart import TransitionGraph, emit_chart, parse_chart
+from repro.workloads import smd_chart
+
+#: state inventory of Fig. 5 (motor control; Start/End names per figure)
+FIG5_STATES = {
+    "XStart2", "RunX", "XEnd2",
+    "YStart2", "RunY", "YEnd2",
+    "PhiStart", "RunPhi", "PhiEnd",
+    "Idle2",
+}
+
+#: state inventory of Fig. 6 (top level)
+FIG6_STATES = {
+    "Idle1", "Operation", "DataPreparation", "ReachPosition",
+    "OpcodeReady", "EmptyBuf", "Bounds", "NoData", "Errstate",
+}
+
+#: label fragments that appear verbatim in the figures
+FIGURE_LABELS = [
+    "INIT or ALLRESET/InitializeAll()",
+    "ERROR/Stop()",
+    "[DATA_VALID]/GetByte()",
+    "X_PULSE/DeltaT(MX)",
+    "Y_PULSE/DeltaT(MY)",
+    "PHI_PULSE/DeltaT(MPHI)",
+    "X_STEPS/SetTrue(XFINISH)",
+    "Y_STEPS/SetTrue(YFINISH)",
+    "PHI_STEPS/SetTrue(PHIFINISH)",
+    "not (X_PULSE or Y_PULSE)",
+    "XFINISH and YFINISH and PHIFINISH",
+]
+
+
+def test_fig5_fig6_charts(benchmark):
+    def build_and_emit():
+        chart = smd_chart()
+        text = emit_chart(chart)
+        reparsed = parse_chart(text)
+        dot = TransitionGraph(chart).to_dot()
+        return chart, text, reparsed, dot
+
+    chart, text, reparsed, dot = benchmark(build_and_emit)
+
+    print()
+    print(f"chart {chart.name!r}: {len(chart.states)} states, "
+          f"{len(chart.transitions)} transitions, "
+          f"{len(chart.events)} events, {len(chart.conditions)} conditions")
+    print()
+    print(text[:1200] + "\n  ...")
+
+    assert FIG5_STATES <= set(chart.states)
+    assert FIG6_STATES <= set(chart.states)
+    labels = [t.label for t in chart.transitions]
+    for fragment in FIGURE_LABELS:
+        assert any(fragment in label for label in labels), fragment
+
+    # structural facts the figures show
+    assert chart.states["Operation"].kind.value == "and"
+    assert chart.states["Moving"].kind.value == "and"
+    assert chart.states["DataPreparation"].default == "OpcodeReady"
+    assert set(chart.states["Operation"].children) == \
+        {"DataPreparation", "ReachPosition"}
+    assert set(chart.states["Moving"].children) == \
+        {"MoveX", "MoveY", "MovePhi"}
+
+    # round trip preserved everything
+    assert set(reparsed.states) == set(chart.states)
+    assert len(reparsed.transitions) == len(chart.transitions)
+    assert "cluster_Operation" in dot
+    benchmark.extra_info["states"] = len(chart.states)
+    benchmark.extra_info["transitions"] = len(chart.transitions)

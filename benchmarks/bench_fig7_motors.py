@@ -1,0 +1,56 @@
+"""Fig. 7: the SMD pickup head's motors.
+
+Regenerates the physical picture behind the example: four motors, their step
+rates, resolutions and kinematic limits, and the derived quantities the
+paper quotes (maximum velocity 1.25 m/s, 1 m max travel, the pulse-spacing
+deadlines).  The benchmarked kernel is trapezoidal-profile generation for a
+full-travel X move (40 000 steps).
+"""
+
+import math
+
+from repro.flow import ascii_table
+from repro.workloads.motors import (
+    PHI_MOTOR,
+    REFERENCE_CLOCK_HZ,
+    SMD_MOTORS,
+    TrapezoidalProfile,
+    X_MOTOR,
+    steps_for_distance,
+)
+
+
+def test_fig7_motor_model(benchmark):
+    full_travel_steps = steps_for_distance(X_MOTOR, 1.0)
+
+    def profile_full_travel():
+        return TrapezoidalProfile(X_MOTOR, full_travel_steps).step_times()
+
+    times = benchmark.pedantic(profile_full_travel, rounds=3, iterations=1)
+
+    rows = []
+    for motor in SMD_MOTORS.values():
+        rows.append((motor.name, f"{motor.max_step_hz / 1000:.0f} kHz",
+                     motor.step_size,
+                     motor.max_velocity if motor.max_acceleration else "uniform",
+                     motor.min_step_interval_cycles))
+    print()
+    print(ascii_table(
+        ["Motor", "max step rate", "step size", "max velocity", "min pulse gap (cycles)"],
+        rows, title="Fig. 7: the pickup-head motors"))
+
+    duration = times[-1]
+    print(f"\n1 m X travel: {full_travel_steps} steps in {duration:.3f} s")
+
+    # paper's kinematics: 1.25 m/s, 10 m/s^2 => 1 m takes t = d/v + v/a
+    expected = 1.0 / 1.25 + 1.25 / 10.0
+    assert math.isclose(duration, expected, rel_tol=0.02)
+    assert full_travel_steps == 40_000
+    # peak step rate = vmax / step size = 50 kHz exactly
+    profile = TrapezoidalProfile(X_MOTOR, full_travel_steps)
+    assert math.isclose(profile.max_step_rate(), 50_000, rel_tol=0.02)
+    # phi: uniform 9 kHz
+    phi_times = TrapezoidalProfile(PHI_MOTOR, 100).step_times()
+    gaps = {round(b - a, 9) for a, b in zip(phi_times, phi_times[1:])}
+    assert len(gaps) == 1
+    benchmark.extra_info["full_travel_seconds"] = round(duration, 4)

@@ -1,0 +1,33 @@
+"""Fig. 8: the floorplan of the final PSCP on the XC4025.
+
+Places every macro block of the final (2 x 16-bit M/D, optimized)
+architecture on the 32x32 CLB grid and renders the occupancy map — the
+textual equivalent of the paper's figure.  Checks: the design fits a single
+XC4025 (the paper's headline result), no overlaps, all blocks placed, and
+utilization in the 70-90% band the paper's 773/1024 implies.
+"""
+
+from repro.hw import XC4025, floorplan
+
+
+def test_fig8_floorplan(final_system, benchmark):
+    estimate = final_system.area()
+
+    plan = benchmark(floorplan, estimate)
+
+    print()
+    print(plan.ascii_map())
+
+    assert plan.device is XC4025
+    assert plan.in_bounds()
+    assert plan.overlaps() == []
+    assert len(plan.placements) == len(estimate.blocks())
+    # paper: 773 of 1024 CLBs = 75%; rectangles round up a little
+    assert 0.60 <= plan.utilization <= 0.95
+    # two TEPs: every per-TEP block appears twice
+    tep0 = {p.name for p in plan.placements if p.name.startswith("tep0.")}
+    tep1 = {p.name for p in plan.placements if p.name.startswith("tep1.")}
+    assert {n.replace("tep0.", "") for n in tep0} == \
+        {n.replace("tep1.", "") for n in tep1}
+    benchmark.extra_info["utilization"] = round(plan.utilization, 3)
+    benchmark.extra_info["clbs"] = estimate.total_clbs

@@ -1,0 +1,107 @@
+"""Scalability: TEP count and bus width on synthetic workloads.
+
+The paper claims scalability "with respect to the number of processing
+elements as well as parameters such as bus widths and register file sizes"
+but evaluates a single example.  This benchmark sweeps the knobs over
+synthetic chart families and checks the expected scaling laws:
+
+* embarrassingly parallel workloads: critical path shrinks with TEP count
+  (saturating at the region count);
+* serial pipelines: TEP count does not help;
+* SLA-bound workloads: shared area grows linearly with transition count
+  while the TEP is unaffected.
+"""
+
+from repro.flow import ascii_table, build_system
+from repro.isa import ArchConfig
+from repro.workloads import parallel_servers, pipeline_chart, wide_decoder
+
+
+def _arch(n_teps=1, width=16):
+    return ArchConfig(name=f"{width}b{n_teps}t", data_width=width,
+                      internal_ram_words=64, n_teps=n_teps)
+
+
+def test_tep_scaling_parallel_workload(benchmark):
+    chart, source = parallel_servers(4, work_iterations=8)
+
+    def sweep():
+        return {n: build_system(chart, source, _arch(n_teps=n))
+                .critical_paths()["REQ0"]
+                for n in (1, 2, 4, 8)}
+
+    paths = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [(n, path, f"{paths[1] / path:.2f}x") for n, path in paths.items()]
+    print()
+    print(ascii_table(["TEPs", "crit. path REQ0", "speedup"],
+                      rows, title="4 parallel servers"))
+
+    assert paths[2] < paths[1]
+    assert paths[4] < paths[2]
+    # saturation: regions = 4, so 8 TEPs buy nothing more
+    assert paths[8] == paths[4]
+    # at 4 TEPs every sibling overlaps: near-ideal speedup (>= 2.5x)
+    assert paths[1] / paths[4] >= 2.5
+    benchmark.extra_info["speedup_4tep"] = round(paths[1] / paths[4], 2)
+
+
+def test_tep_scaling_serial_workload(benchmark):
+    chart, source = pipeline_chart(4, work_iterations=6)
+
+    def sweep():
+        return {n: build_system(chart, source, _arch(n_teps=n))
+                .critical_paths()["FEED"]
+                for n in (1, 2, 4)}
+
+    paths = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(ascii_table(["TEPs", "crit. path FEED"],
+                      [(n, p) for n, p in paths.items()],
+                      title="4-stage pipeline (serial)"))
+    assert paths[1] == paths[2] == paths[4]
+
+
+def test_bus_width_scaling(benchmark):
+    chart, source = parallel_servers(2, work_iterations=8)
+
+    def sweep():
+        return {w: build_system(chart, source, _arch(width=w))
+                .critical_paths()["REQ0"]
+                for w in (8, 16)}
+
+    paths = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(ascii_table(["bus width", "crit. path REQ0"],
+                      [(w, p) for w, p in paths.items()],
+                      title="bus-width sweep (16-bit arithmetic workload)"))
+    # 16-bit data on an 8-bit bus needs multi-word sequences: slower
+    assert paths[8] > paths[16]
+    benchmark.extra_info["widening_gain"] = round(paths[8] / paths[16], 2)
+
+
+def test_sla_scaling(benchmark):
+    def sweep():
+        results = []
+        for n in (4, 8, 16, 32):
+            chart, source = wide_decoder(n)
+            system = build_system(chart, source, _arch())
+            results.append((n, system.pla.product_terms,
+                            system.pla.layout.width,
+                            system.area().shared_clbs,
+                            system.area().tep_clbs))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(ascii_table(
+        ["commands", "product terms", "CR bits", "shared CLBs", "TEP CLBs"],
+        results, title="SLA scaling with decoder width"))
+
+    terms = [r[1] for r in results]
+    shared = [r[3] for r in results]
+    tep = [r[4] for r in results]
+    assert terms == sorted(terms) and terms[-1] > terms[0]
+    assert shared == sorted(shared) and shared[-1] > shared[0]
+    # the TEP itself is application-independent
+    assert len(set(tep)) == 1

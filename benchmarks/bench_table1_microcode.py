@@ -1,0 +1,74 @@
+"""Table 1: the microcode format.
+
+Regenerates the microinstruction group/signal encoding table and checks it
+against the paper's rows verbatim.  The benchmarked kernel is decoder-ROM
+synthesis for the full basic instruction set ("the associated microprogram
+decoder can be synthesized from the combination of all the microinstruction
+sequences involved").
+"""
+
+from repro.flow import table1_report
+from repro.isa import (
+    DecoderRom,
+    Imm,
+    Instruction,
+    LabelRef,
+    MD16_TEP,
+    Mem,
+    Op,
+    PortRef,
+    SignalRef,
+    format_table1,
+)
+
+PAPER_TABLE1 = {
+    "arithmetic": ("001", "01x00"),
+    "logical": ("001", "000xx"),
+    "shift": ("010", "0xxxx"),
+    "single signals": ("011", "xxxxx"),
+    "address bus": ("100", "0xxxx"),
+    "jump, branch": ("101", "0xxxx"),
+}
+
+
+def _basic_instruction_inventory():
+    return [
+        Instruction(Op.LDA, Imm(1)), Instruction(Op.LDA, Mem(0)),
+        Instruction(Op.LDO, Mem(1)), Instruction(Op.STA, Mem(2)),
+        Instruction(Op.ADD, Mem(3)), Instruction(Op.SUB, Imm(1)),
+        Instruction(Op.AND, Mem(4)), Instruction(Op.ORR, Mem(5)),
+        Instruction(Op.XOR, Imm(7)), Instruction(Op.CMP, Imm(0)),
+        Instruction(Op.SHL), Instruction(Op.SHR),
+        Instruction(Op.JMP, LabelRef("x", 0)),
+        Instruction(Op.JZ, LabelRef("x", 0)),
+        Instruction(Op.JNZ, LabelRef("x", 0)),
+        Instruction(Op.CALL, LabelRef("x", 0)), Instruction(Op.RET),
+        Instruction(Op.TRET),
+        Instruction(Op.INP, PortRef(0x700)),
+        Instruction(Op.OUTP, PortRef(0x701)),
+        Instruction(Op.EVSET, SignalRef(0)),
+        Instruction(Op.CSET, SignalRef(1)),
+        Instruction(Op.CCLR, SignalRef(2)),
+        Instruction(Op.CTST, SignalRef(3)),
+    ]
+
+
+def test_table1_microcode_format(benchmark):
+    def synthesize_decoder():
+        rom = DecoderRom(MD16_TEP)
+        rom.add_program(_basic_instruction_inventory())
+        return rom
+
+    rom = benchmark(synthesize_decoder)
+
+    report = table1_report()
+    print()
+    print(report)
+    print(f"\ndecoder ROM for the basic instruction set: "
+          f"{rom.size_words} microinstruction words")
+
+    measured = {symbolic: (bits, pattern)
+                for symbolic, bits, pattern in format_table1()}
+    assert measured == PAPER_TABLE1
+    benchmark.extra_info["rom_words"] = rom.size_words
+    benchmark.extra_info["table1_matches_paper"] = True

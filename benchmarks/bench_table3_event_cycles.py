@@ -1,0 +1,54 @@
+"""Table 3: the event cycles found by the timing validator.
+
+Runs the section-4 heuristic on the SMD chart (reference architecture:
+one 16-bit M/D TEP, unoptimized code) and compares every cycle length to the
+paper's printed value.  The benchmarked kernel is the full event-cycle
+search over all four constrained events.
+"""
+
+from repro.flow import comparison_table, table3_report
+from repro.workloads import TABLE3_PAPER
+
+TOLERANCE = 0.05
+
+
+def _best_match(lengths, states):
+    candidates = [length for s, length in lengths.items()
+                  if s[0] == states[0] and s[-1] == states[-1]
+                  and len(s) == len(states)]
+    return max(candidates) if candidates else None
+
+
+def test_table3_event_cycles(reference_system, benchmark):
+    validator = reference_system.validator
+
+    cycles = benchmark(validator.all_cycles)
+
+    lengths = {}
+    for cycle in cycles:
+        key = tuple(cycle.states)
+        lengths[key] = max(lengths.get(key, 0), cycle.length)
+
+    print()
+    print(table3_report(cycles))
+    print()
+
+    rows = []
+    max_error = 0.0
+    for states, paper in TABLE3_PAPER:
+        measured = _best_match(lengths, states)
+        assert measured is not None, f"cycle {states} not found"
+        rows.append(("{" + ", ".join(states) + "}", paper, measured))
+        max_error = max(max_error, abs(measured - paper) / paper)
+        assert abs(measured - paper) <= TOLERANCE * paper, (states, measured)
+    print(comparison_table("Table 3: paper vs measured", rows))
+    print(f"\nmax relative error: {max_error:.1%} "
+          f"(tolerance {TOLERANCE:.0%}); "
+          f"{len(cycles)} cycles found in total "
+          f"({len(cycles) - len(TABLE3_PAPER)} beyond the paper's list)")
+
+    # the paper's conclusion: violations on the first three constraints only
+    violated = {v.cycle.event for v in reference_system.violations()}
+    assert violated == {"DATA_VALID", "X_PULSE", "Y_PULSE"}
+    benchmark.extra_info["max_relative_error"] = round(max_error, 4)
+    benchmark.extra_info["cycles_found"] = len(cycles)

@@ -1,0 +1,95 @@
+"""Table 4: area and timing results across the five architectures.
+
+Rebuilds the SMD system at each of the paper's five architecture points and
+regenerates the full table: CLB area, X/Y critical path, DATA_VALID critical
+path.  Checks:
+
+* areas within 5% of the paper (the CLB model is calibrated once, globally);
+* the unoptimized 16-bit M/D row within 5% on both critical paths (the
+  Table 3 reference point);
+* the *shape*: every optimization rung improves both paths, the minimal TEP
+  is beyond both constraints ("> 1000 / > 3000"), and the final architecture
+  meets every constraint and fits the XC4025.
+"""
+
+from repro.flow import build_system, table4_report
+from repro.hw import XC4025
+from repro.isa import MD16_TEP, MINIMAL_TEP
+from repro.workloads import (
+    SMD_MUTUAL_EXCLUSIONS,
+    SMD_ROUTINES,
+    TABLE2_PAPER,
+    TABLE4_PAPER,
+)
+
+AREA_TOLERANCE = 0.05
+REFERENCE_TOLERANCE = 0.05
+
+
+def _architecture_points():
+    md2 = MD16_TEP.with_(n_teps=2, mutual_exclusions=SMD_MUTUAL_EXCLUSIONS)
+    return [
+        ("1 minimal TEP", MINIMAL_TEP, False),
+        ("16bit M/D TEP, unoptimized code", MD16_TEP, False),
+        ("16bit M/D TEP, optimized code",
+         MD16_TEP.with_(microcode_optimized=True), True),
+        ("2 16bit M/D TEP, unoptimized code", md2, False),
+        ("2 16bit M/D TEP, optimized code",
+         md2.with_(microcode_optimized=True), True),
+    ]
+
+
+def test_table4_area_and_timing(smd, benchmark):
+    def sweep():
+        rows = []
+        for name, arch, specialize in _architecture_points():
+            system = build_system(smd, SMD_ROUTINES, arch,
+                                  specialize=specialize)
+            paths = system.critical_paths()
+            rows.append((name, system.area().total_clbs,
+                         max(paths["X_PULSE"], paths["Y_PULSE"]),
+                         paths["DATA_VALID"], system))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(table4_report([row[:4] for row in rows]))
+    print("\npaper:")
+    print(table4_report([(name, *values)
+                         for name, values in TABLE4_PAPER.items()]))
+
+    by_name = {row[0]: row for row in rows}
+
+    # areas within tolerance everywhere
+    for name, (paper_area, _, _) in TABLE4_PAPER.items():
+        measured_area = by_name[name][1]
+        assert abs(measured_area - paper_area) <= AREA_TOLERANCE * paper_area
+
+    # the reference row matches the paper closely
+    _, _, xy_ref, dv_ref, _ = by_name["16bit M/D TEP, unoptimized code"]
+    assert abs(xy_ref - 878) <= REFERENCE_TOLERANCE * 878
+    assert abs(dv_ref - 2041) <= REFERENCE_TOLERANCE * 2041
+
+    # minimal TEP: beyond the paper's "> 1000 / > 3000"
+    _, _, xy_min, dv_min, _ = by_name["1 minimal TEP"]
+    assert xy_min > 1000 and dv_min > 3000
+
+    # monotone improvement along the ladder (both optimizations help)
+    ladder = ["16bit M/D TEP, unoptimized code",
+              "16bit M/D TEP, optimized code",
+              "2 16bit M/D TEP, optimized code"]
+    xy_values = [by_name[n][2] for n in ladder]
+    dv_values = [by_name[n][3] for n in ladder]
+    assert xy_values == sorted(xy_values, reverse=True)
+    assert dv_values == sorted(dv_values, reverse=True)
+
+    # the final architecture fulfils all timing requirements and fits
+    final = by_name["2 16bit M/D TEP, optimized code"]
+    _, final_area, final_xy, final_dv, final_system = final
+    assert final_xy <= TABLE2_PAPER["X_PULSE"]
+    assert final_dv <= TABLE2_PAPER["DATA_VALID"]
+    assert final_system.violations() == []
+    assert XC4025.fits(final_area)
+
+    benchmark.extra_info["rows"] = [row[:4] for row in rows]

@@ -1,0 +1,41 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.  The
+expensive build artifacts are session-cached here so the benchmark timings
+measure the interesting kernel (analysis/synthesis), not repeated setup.
+"""
+
+import pytest
+
+from repro.flow import build_system
+from repro.isa import MD16_TEP, MINIMAL_TEP
+from repro.workloads import (
+    SMD_MUTUAL_EXCLUSIONS,
+    SMD_ROUTINES,
+    smd_chart,
+)
+
+
+@pytest.fixture(scope="session")
+def smd():
+    """The SMD chart (Figs. 5/6) used by every evaluation benchmark."""
+    return smd_chart()
+
+
+@pytest.fixture(scope="session")
+def reference_system(smd):
+    """Table 3's reference point: one 16-bit M/D TEP, unoptimized code."""
+    return build_system(smd, SMD_ROUTINES, MD16_TEP)
+
+
+@pytest.fixture(scope="session")
+def final_system(smd):
+    """The paper's final architecture: 2 x 16-bit M/D TEP, optimized code."""
+    arch = MD16_TEP.with_(n_teps=2, microcode_optimized=True,
+                          mutual_exclusions=SMD_MUTUAL_EXCLUSIONS)
+    return build_system(smd, SMD_ROUTINES, arch, specialize=True)
+
+
+@pytest.fixture(scope="session")
+def minimal_system(smd):
+    return build_system(smd, SMD_ROUTINES, MINIMAL_TEP)

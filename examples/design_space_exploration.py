@@ -1,0 +1,66 @@
+"""Design-space exploration: TEP count and bus width across workload shapes.
+
+The PSCP is "scalable with respect to the number of processing elements as
+well as parameters such as bus widths and register file sizes".  This
+example sweeps both knobs over three synthetic workload shapes
+(:mod:`repro.workloads.generators`) and prints the resulting
+critical-path/area Pareto data — the kind of exploration the iterative
+improvement loop automates for one application.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.flow import ascii_table, build_system
+from repro.isa import ArchConfig
+from repro.workloads import parallel_servers, pipeline_chart, wide_decoder
+
+
+def sweep(name, chart, source, event):
+    rows = []
+    for n_teps in (1, 2, 4):
+        for width in (8, 16):
+            arch = ArchConfig(
+                name=f"{width}b-{n_teps}t",
+                data_width=width,
+                has_muldiv=False,
+                internal_ram_words=64,
+                n_teps=n_teps,
+            )
+            system = build_system(chart, source, arch)
+            rows.append((
+                f"{n_teps} TEP / {width}-bit",
+                system.area().total_clbs,
+                system.critical_paths()[event],
+                "yes" if not system.violations() else "no",
+            ))
+    print(ascii_table(
+        ["Architecture", "Area (CLBs)", f"crit. path {event}", "meets"],
+        rows, title=f"-- {name} --"))
+    print()
+
+
+def main() -> None:
+    chart, source = parallel_servers(4, work_iterations=8)
+    sweep("4 parallel servers (TEPs should help)", chart, source, "REQ0")
+
+    chart, source = pipeline_chart(4, work_iterations=6)
+    sweep("4-stage pipeline (TEPs should NOT help)", chart, source, "FEED")
+
+    chart, source = wide_decoder(12)
+    sweep("12-command decoder (SLA-bound)", chart, source, "CMD0")
+
+    # SLA growth with decoder width
+    rows = []
+    for n_commands in (4, 8, 16, 32):
+        chart, source = wide_decoder(n_commands)
+        system = build_system(chart, source, ArchConfig(data_width=16))
+        rows.append((n_commands, system.pla.product_terms,
+                     system.pla.layout.width,
+                     system.area().shared_clbs))
+    print(ascii_table(
+        ["commands", "SLA product terms", "CR bits", "shared CLBs"],
+        rows, title="-- SLA scaling with decoder width --"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Every hardware/software artifact the flow generates, for one system.
+
+Section 2: "In total, our system contains two system-level notations
+(graphical and textual statechart representation), three levels of
+representation for software (C code, assembler code, and microinstructions),
+and three formats to represent hardware (PSCP macro blocks, schematics, and
+VHDL)."  This example materializes each of them for a small controller:
+
+* the textual statechart (round-tripped through the parser),
+* the intermediate C routines,
+* the compiled assembler listing,
+* one instruction's microprogram (Table 1 encoding),
+* the SLA as BLIF and as VHDL,
+* the decoder ROM as VHDL,
+* the PSCP macro-block breakdown and floorplan.
+
+Run:  python examples/hardware_artifacts.py
+"""
+
+from repro.flow import build_system
+from repro.hw import emit_decoder_rom_vhdl, emit_sla_vhdl, floorplan
+from repro.isa import MD16_TEP, emit_text, microprogram
+from repro.sla import emit_blif
+from repro.statechart import emit_chart, parse_chart
+
+CHART = """
+chart valve;
+
+event OPEN_CMD period 3000;
+event CLOSE_CMD;
+condition INTERLOCK;
+
+orstate Valve {
+  contains Closed, Open;
+  default Closed;
+}
+basicstate Closed {
+  transition { target Open; label "OPEN_CMD [not INTERLOCK]/DriveOpen()"; }
+}
+basicstate Open {
+  transition { target Closed; label "CLOSE_CMD/DriveClosed()"; }
+}
+"""
+
+ROUTINES = """
+int:16 position;
+void DriveOpen()   { position = position + 10; }
+void DriveClosed() { position = 0; }
+"""
+
+
+def banner(title: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    chart = parse_chart(CHART)
+    system = build_system(chart, ROUTINES, MD16_TEP)
+
+    banner("textual statechart (round-tripped)")
+    print(emit_chart(chart))
+
+    banner("assembler listing: DriveOpen")
+    print(emit_text(system.compiled.objects["DriveOpen"].instructions))
+
+    banner("microprogram of the first instruction (Table 1 format)")
+    first = system.compiled.objects["DriveOpen"].instructions[0]
+    for micro_op in microprogram(first, system.arch):
+        print(f"  {micro_op}")
+    print()
+
+    banner("SLA as BLIF")
+    print(emit_blif(system.pla))
+
+    banner("SLA as VHDL")
+    print(emit_sla_vhdl("sla", system.pla.layout.input_names(),
+                        system.pla.output_names(),
+                        system.pla.as_products_by_output()))
+
+    banner("microprogram decoder ROM as VHDL (first lines)")
+    vhdl = emit_decoder_rom_vhdl(system.decoder_rom())
+    print("\n".join(vhdl.splitlines()[:18]))
+    print("  ...")
+
+    banner("PSCP macro blocks")
+    print(system.area().report())
+    print()
+
+    banner("floorplan")
+    print(floorplan(system.area()).ascii_map())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""A pedestrian-crossing controller: parallel regions + timers + interrupts.
+
+A second reactive-system scenario (the class of applications the paper's
+intro motivates): a road/pedestrian signal pair with a request button and a
+fault watchdog.  Shows:
+
+* parallel AND-regions (lamp controller ∥ request latcher),
+* the timer extension (section 6 "future work") driving the phase events,
+* the interrupt controller prioritizing the FAULT event,
+* machine-vs-interpreter agreement on the same chart.
+
+Run:  python examples/pedestrian_crossing.py
+"""
+
+from repro.flow import build_system
+from repro.isa import MD16_TEP
+from repro.pscp import InterruptController, Timer, TimerBank
+from repro.statechart import ChartBuilder, Interpreter
+
+
+def build_chart():
+    b = ChartBuilder("crossing")
+    b.event("PHASE", period=50_000)   # phase timer tick
+    b.event("BUTTON")
+    b.event("FAULT")
+    b.event("CLEARED")
+    b.condition("REQUESTED")
+    with b.or_state("Controller", default="Run"):
+        with b.and_state("Run") as run:
+            with b.or_state("Lights", default="RoadGreen"):
+                b.basic("RoadGreen").transition(
+                    "RoadYellow", label="PHASE [REQUESTED]/LogPhase()")
+                b.basic("RoadYellow").transition(
+                    "WalkOn", label="PHASE/WalkLights()")
+                b.basic("WalkOn").transition(
+                    "RoadGreen", label="PHASE/RoadLights()")
+            with b.or_state("Request", default="Waiting"):
+                b.basic("Waiting").transition(
+                    "Latched", label="BUTTON/Latch()")
+                b.basic("Latched").transition(
+                    "Waiting", label="PHASE [not REQUESTED]")
+        run.transition("Failed", label="FAULT/AllRed()")
+        b.basic("Failed").transition("Run", label="CLEARED/Recover()")
+    return b.build()
+
+
+ROUTINES = """
+int:16 phase_count;
+int:16 walk_count;
+
+void LogPhase()   { phase_count = phase_count + 1; }
+void WalkLights() { walk_count = walk_count + 1; SetFalse(REQUESTED); }
+void RoadLights() { phase_count = phase_count + 1; }
+void Latch()      { SetTrue(REQUESTED); }
+void AllRed()     { phase_count = 0; }
+void Recover()    { walk_count = 0; }
+"""
+
+
+def main() -> None:
+    chart = build_chart()
+    system = build_system(chart, ROUTINES, MD16_TEP)
+    machine = system.make_machine()
+
+    # reference interpreter with mirrored Python actions
+    def mirror(name):
+        def handler(interp, transition):
+            if name == "WalkLights":
+                interp.set_condition("REQUESTED", False)
+            elif name == "Latch":
+                interp.set_condition("REQUESTED", True)
+        return handler
+
+    interp = Interpreter(chart, actions={
+        name: mirror(name)
+        for name in ("LogPhase", "WalkLights", "RoadLights", "Latch",
+                     "AllRed", "Recover")})
+
+    timers = TimerBank([Timer("PHASE", 50_000)])
+    interrupts = InterruptController({"FAULT"})
+
+    # scripted external stimuli: a button press, then a fault mid-cycle
+    external = {2: {"BUTTON"}, 7: {"FAULT"}, 9: {"CLEARED"},
+                11: {"BUTTON"}}
+
+    print("cycle  events              machine-state          agree")
+    previous = 0
+    for cycle in range(16):
+        due = set(external.get(cycle, set()))
+        due |= timers.pending_events(previous, previous + 60_000)
+        previous += 60_000
+        due = interrupts.filter(due)
+
+        machine_step = machine.step(due)
+        interp_step = interp.step(due)
+        state = sorted(s for s in machine.cr.configuration
+                       if not machine.chart.states[s].children)
+        agree = machine.cr.configuration == interp.configuration
+        print(f"{cycle:5d}  {','.join(sorted(due)) or '-':18s}  "
+              f"{'+'.join(state):22s} {agree}")
+        assert agree, "machine diverged from the reference interpreter!"
+
+    print()
+    print(f"phase_count = {machine.read_global('phase_count')}, "
+          f"walk_count = {machine.read_global('walk_count')}")
+    print(f"held during interrupt: {sorted(interrupts.held_events)}")
+    print(f"simulated controller time: {machine.time} cycles")
+
+
+if __name__ == "__main__":
+    main()

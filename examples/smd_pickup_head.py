@@ -1,0 +1,101 @@
+"""The paper's industrial example end to end (section 5).
+
+Reproduces the complete SMD pickup-head story:
+
+1. the timing constraints of Table 2;
+2. the event cycles the static validator finds (Table 3) on the reference
+   architecture, with the violations the paper reports;
+3. the iterative improvement to the final two-TEP architecture and the
+   area/timing trajectory (Table 4);
+4. a closed-loop run of the final controller against the stepper-motor
+   physics — every deadline met, the head arrives where commanded;
+5. the floorplan on the XC4025 (Fig. 8).
+
+Run:  python examples/smd_pickup_head.py
+"""
+
+from repro.flow import build_system, table2_report, table3_report, table4_report
+from repro.hw import floorplan
+from repro.isa import MD16_TEP, MINIMAL_TEP
+from repro.workloads import (
+    MoveCommand,
+    SMD_MUTUAL_EXCLUSIONS,
+    SMD_ROUTINES,
+    SmdClosedLoop,
+    smd_chart,
+)
+from repro.workloads.motors import MotorSpec
+
+FAST_MOTORS = {
+    "X": MotorSpec("X", 50_000.0, 0.025e-3, 1.25, 2000.0),
+    "Y": MotorSpec("Y", 50_000.0, 0.025e-3, 1.25, 2000.0),
+    "Phi": MotorSpec("Phi", 9_000.0, 0.1, 900.0, 0.0),
+}
+
+
+def main() -> None:
+    chart = smd_chart()
+    print(table2_report(chart))
+    print()
+
+    # --- static analysis on the reference architecture -------------------
+    reference = build_system(chart, SMD_ROUTINES, MD16_TEP)
+    print(table3_report(reference.validator.all_cycles()))
+    print()
+    print("violations on the 16-bit M/D TEP (unoptimized):")
+    for violation in reference.violations():
+        print(" ", violation.describe())
+    print()
+
+    # --- the Table 4 sweep -------------------------------------------------
+    md2 = MD16_TEP.with_(n_teps=2, mutual_exclusions=SMD_MUTUAL_EXCLUSIONS)
+    points = [
+        ("1 minimal TEP", MINIMAL_TEP, False),
+        ("16bit M/D TEP, unoptimized code", MD16_TEP, False),
+        ("16bit M/D TEP, optimized code",
+         MD16_TEP.with_(microcode_optimized=True), True),
+        ("2 16bit M/D TEP, unoptimized code", md2, False),
+        ("2 16bit M/D TEP, optimized code",
+         md2.with_(microcode_optimized=True), True),
+    ]
+    rows = []
+    final_system = None
+    for name, arch, specialize in points:
+        system = build_system(chart, SMD_ROUTINES, arch,
+                              specialize=specialize)
+        paths = system.critical_paths()
+        rows.append((name, system.area().total_clbs,
+                     max(paths["X_PULSE"], paths["Y_PULSE"]),
+                     paths["DATA_VALID"]))
+        final_system = system
+    print(table4_report(rows))
+    print()
+    assert final_system is not None
+    print("final architecture violations:",
+          [v.describe() for v in final_system.violations()] or "none")
+    print()
+
+    # --- closed loop ---------------------------------------------------------
+    print("closed-loop run (final architecture, 2 moves):")
+    loop = SmdClosedLoop(final_system, motor_specs=FAST_MOTORS)
+    report = loop.run([MoveCommand(60, 45, 8), MoveCommand(25, 30, 4)],
+                      max_configuration_cycles=40000)
+    print(f"  moves completed: {report.commands_completed}"
+          f"/{report.commands_issued}")
+    print(f"  final positions: {report.final_positions}")
+    print(f"  simulated time: {report.total_cycles} cycles "
+          f"({report.total_cycles / 15_000_000 * 1000:.2f} ms at 15 MHz)")
+    for deadline in report.deadline_reports:
+        status = "MET" if deadline.misses == 0 else "MISSED"
+        print(f"  {deadline.event:12s} worst latency "
+              f"{str(deadline.worst_latency):>6s} / period "
+              f"{deadline.period:5d}  {status}")
+    print()
+
+    # --- floorplan (Fig. 8) ----------------------------------------------------
+    plan = floorplan(final_system.area())
+    print(plan.ascii_map())
+
+
+if __name__ == "__main__":
+    main()

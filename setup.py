@@ -1,0 +1,4 @@
+"""Shim so `pip install -e .` works on offline hosts without the wheel package."""
+from setuptools import setup
+
+setup()

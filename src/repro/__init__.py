@@ -1,0 +1,27 @@
+"""Reproduction of *PSCP: A Scalable Parallel ASIP Architecture for Reactive
+Systems* (Pyttel, Sedlmeier, Veith — DATE 1998).
+
+The package implements the paper's complete codesign flow:
+
+* :mod:`repro.statechart` — extended statecharts (model, textual format,
+  semantics, graph views);
+* :mod:`repro.action` — the intermediate C dialect for transition routines;
+* :mod:`repro.isa` — the TEP instruction set, assembler, microcode,
+  code generator, WCET analysis and code optimizations;
+* :mod:`repro.hw` — the hardware component library, FPGA device model,
+  area estimation and floorplanning;
+* :mod:`repro.sla` — Statechart Logic Array synthesis (state encoding,
+  PLA generation, BLIF/VHDL emission);
+* :mod:`repro.pscp` — the cycle-level PSCP machine simulator (scheduler,
+  TEPs, configuration register, condition caches, ports);
+* :mod:`repro.flow` — the codesign flow: static timing validation and the
+  iterative architecture/instruction improvement loop;
+* :mod:`repro.workloads` — the SMD pickup-head case study (Figs. 5-7) and
+  synthetic chart generators.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "statechart", "action", "isa", "hw", "sla", "pscp", "flow", "workloads",
+]

@@ -1,0 +1,167 @@
+"""Command-line front end for the PSCP codesign flow.
+
+Mirrors how the paper's system is used: feed it a textual statechart
+(Fig. 2a) and the routine sources (Fig. 2b dialect); it runs the flow and
+prints the analysis/synthesis results.
+
+Usage::
+
+    python -m repro CHART.sc ROUTINES.c [options]
+
+    --arch minimal|md16          starting architecture (default: auto-select
+                                 from the data-path requirements)
+    --teps N                     number of TEPs
+    --optimize                   peephole + constant-argument specialization
+    --improve                    run the iterative improvement ladder
+    --emit blif|vhdl|asm|dot     write generated artifacts to stdout
+    --floorplan                  print the CLB floorplan
+    --json                       machine-readable summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.flow import (
+    Improver,
+    build_system,
+    select_initial_architecture,
+    table2_report,
+    table3_report,
+)
+from repro.isa import MD16_TEP, MINIMAL_TEP
+from repro.statechart import parse_chart
+
+_ARCHS = {"minimal": MINIMAL_TEP, "md16": MD16_TEP}
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PSCP codesign flow: statechart + routines -> "
+                    "analysis, synthesis, simulation artifacts")
+    parser.add_argument("chart", help="textual statechart file (Fig. 2a format)")
+    parser.add_argument("routines", help="intermediate-C routine file")
+    parser.add_argument("--arch", choices=sorted(_ARCHS),
+                        help="starting architecture (default: auto-select)")
+    parser.add_argument("--teps", type=int, default=None,
+                        help="override the number of TEPs")
+    parser.add_argument("--optimize", action="store_true",
+                        help="apply microcode peephole + specialization")
+    parser.add_argument("--improve", action="store_true",
+                        help="run the iterative improvement ladder")
+    parser.add_argument("--emit", choices=["blif", "vhdl", "asm", "dot"],
+                        action="append", default=[],
+                        help="emit a generated artifact (repeatable)")
+    parser.add_argument("--floorplan", action="store_true",
+                        help="print the CLB floorplan")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable summary")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    args = build_argument_parser().parse_args(argv)
+
+    try:
+        with open(args.chart) as handle:
+            chart_text = handle.read()
+        with open(args.routines) as handle:
+            routine_text = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    chart = parse_chart(chart_text)
+
+    if args.improve:
+        improver = Improver(chart, routine_text)
+        result = improver.run()
+        system = result.final
+        if not args.json:
+            print("improvement trajectory:", file=out)
+            for step in result.steps:
+                print(f"  {step.rung:20s} area {step.area_clbs:5d} "
+                      f"violations {step.n_violations}", file=out)
+    else:
+        if args.arch is not None:
+            arch = _ARCHS[args.arch]
+        else:
+            arch = select_initial_architecture(chart, routine_text)
+        if args.teps is not None:
+            arch = arch.with_(n_teps=args.teps)
+        if args.optimize:
+            arch = arch.with_(microcode_optimized=True)
+        system = build_system(chart, routine_text, arch,
+                              specialize=args.optimize)
+
+    violations = system.violations()
+
+    if args.json:
+        summary = {
+            "chart": chart.name,
+            "architecture": system.arch.describe(),
+            "area_clbs": system.area().total_clbs,
+            "device": system.area().device().name,
+            "critical_paths": system.critical_paths(),
+            "violations": [v.describe() for v in violations],
+            "routine_wcets": {name: wcet
+                              for name, wcet in system.routine_wcets().items()
+                              if not name.startswith("__")},
+        }
+        json.dump(summary, out, indent=2)
+        print(file=out)
+    else:
+        print(f"chart {chart.name!r}: {len(chart.states)} states, "
+              f"{len(chart.transitions)} transitions", file=out)
+        print(f"architecture: {system.arch.describe()}", file=out)
+        print(file=out)
+        print(table2_report(chart), file=out)
+        print(file=out)
+        print(table3_report(system.validator.all_cycles()), file=out)
+        print(file=out)
+        if violations:
+            print("timing violations:", file=out)
+            for violation in violations:
+                print(f"  {violation.describe()}", file=out)
+        else:
+            print("all timing constraints met", file=out)
+        print(file=out)
+        print(system.area().report(), file=out)
+
+    for kind in args.emit:
+        print(file=out)
+        print(f"---- {kind} ----", file=out)
+        if kind == "blif":
+            from repro.sla import emit_blif
+            print(emit_blif(system.pla), file=out)
+        elif kind == "vhdl":
+            from repro.hw import emit_sla_vhdl
+            print(emit_sla_vhdl(
+                "sla", system.pla.layout.input_names(),
+                system.pla.output_names(),
+                system.pla.as_products_by_output()), file=out)
+        elif kind == "asm":
+            from repro.isa import emit_text
+            print(emit_text(system.compiled.flat_instructions()), file=out)
+        elif kind == "dot":
+            from repro.statechart import TransitionGraph
+            print(TransitionGraph(chart).to_dot(), file=out)
+
+    if args.floorplan:
+        from repro.hw import floorplan
+        print(file=out)
+        print(floorplan(system.area()).ascii_map(), file=out)
+
+    return 1 if violations else 0
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

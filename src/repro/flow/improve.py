@@ -1,0 +1,259 @@
+"""The iterative improvement loop (section 4).
+
+"If a violation for an event cycle is detected, improvements are applied in
+increasing order of difficulty to the transitions in question":
+
+1. **peephole** — remove redundant jumps from the microprogram sequences;
+2. **storage promotion** — "the type of storage elements and their
+   associated Load/Store instructions are changed from external to internal
+   to registers, recomputing the timing values for each step";
+3. **pattern matching** — insert a comparator ALU style for ``if (a == b)``
+   patterns, a two's-complement ALU for ``x = -x``;
+4. **custom instructions** — fuse arithmetic expressions (bounded so they
+   don't become the TEP's critical path);
+5. **wider data bus** — the data-path analysis step normally picks this up
+   front, but the ladder can still widen an 8-bit machine;
+6. **more TEPs** — "the last resort …, but this has repercussions on the
+   design of the SLA …  Therefore, designers must indicate which transition
+   routines should be mutually exclusive."
+
+Every rung is evaluated by rebuilding the system and re-running the timing
+validator; the resulting trajectory is exactly the kind of data Table 4
+reports (area vs. the two critical paths at each point).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.hw.library import custom_instruction_is_safe
+from repro.isa.arch import ArchConfig, StorageClass
+from repro.isa.isa import Mem, Reg
+from repro.isa.patterns import (
+    find_comparator_sites,
+    find_custom_candidates,
+    find_negation_sites,
+)
+from repro.flow.build import BuiltSystem, build_system, select_initial_architecture
+from repro.statechart.model import Chart
+
+
+@dataclass
+class LadderStep:
+    """One evaluated point of the improvement trajectory."""
+
+    rung: str
+    description: str
+    arch: ArchConfig
+    storage_map: Dict[str, StorageClass]
+    critical_paths: Dict[str, int]
+    n_violations: int
+    area_clbs: int
+
+    @property
+    def meets_constraints(self) -> bool:
+        return self.n_violations == 0
+
+
+@dataclass
+class ImprovementResult:
+    steps: List[LadderStep]
+    final: BuiltSystem
+
+    @property
+    def success(self) -> bool:
+        return bool(self.steps) and self.steps[-1].meets_constraints
+
+    def trajectory_table(self) -> List[Tuple[str, int, Dict[str, int]]]:
+        return [(step.rung, step.area_clbs, step.critical_paths)
+                for step in self.steps]
+
+
+def hot_globals(system: BuiltSystem) -> List[str]:
+    """Globals ranked by static reference count in the compiled code.
+
+    "Load/Store instructions are changed from external to internal to
+    registers" — this picks which variables to move first.
+    """
+    location_to_name: Dict[Tuple, str] = {}
+    for name, loc in system.compiled.allocator.locations.items():
+        if "." in name:
+            continue  # locals/params/temps: already internal
+        for operand in loc.words:
+            if isinstance(operand, Mem):
+                location_to_name[(operand.space, operand.address)] = name
+            elif isinstance(operand, Reg):
+                location_to_name[("reg", operand.index)] = name
+    counts: Counter = Counter()
+    for instruction in system.compiled.flat_instructions():
+        operand = instruction.operand
+        key = None
+        if isinstance(operand, Mem):
+            key = (operand.space, operand.address)
+        elif isinstance(operand, Reg):
+            key = ("reg", operand.index)
+        if key is not None and key in location_to_name:
+            counts[location_to_name[key]] += 1
+    return [name for name, _ in counts.most_common()]
+
+
+class Improver:
+    """Walks the optimization ladder until the constraints hold."""
+
+    def __init__(
+        self,
+        chart: Chart,
+        source: str,
+        initial_arch: Optional[ArchConfig] = None,
+        mutual_exclusions: FrozenSet[FrozenSet[str]] = frozenset(),
+        max_teps: int = 2,
+        max_custom_instructions: int = 2,
+        register_file_size: int = 4,
+        allow_pipelining: bool = False,
+    ) -> None:
+        self.chart = chart
+        self.source = source
+        self.initial_arch = (initial_arch if initial_arch is not None
+                             else select_initial_architecture(chart, source))
+        self.mutual_exclusions = mutual_exclusions
+        self.max_teps = max_teps
+        self.max_custom_instructions = max_custom_instructions
+        self.register_file_size = register_file_size
+        self.allow_pipelining = allow_pipelining
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, rung: str, description: str, arch: ArchConfig,
+                  storage_map: Dict[str, StorageClass]
+                  ) -> Tuple[BuiltSystem, LadderStep]:
+        system = build_system(self.chart, self.source, arch,
+                              storage_map=storage_map)
+        step = LadderStep(
+            rung=rung,
+            description=description,
+            arch=arch,
+            storage_map=dict(storage_map),
+            critical_paths=system.critical_paths(),
+            n_violations=len(system.violations()),
+            area_clbs=system.area().total_clbs,
+        )
+        return system, step
+
+    def run(self) -> ImprovementResult:
+        steps: List[LadderStep] = []
+        arch = self.initial_arch
+        storage_map: Dict[str, StorageClass] = {}
+
+        system, step = self._evaluate(
+            "baseline", f"initial architecture {arch.describe()}",
+            arch, storage_map)
+        steps.append(step)
+        if step.meets_constraints:
+            return ImprovementResult(steps, system)
+
+        # 1. microcode peephole
+        arch = arch.with_(microcode_optimized=True)
+        system, step = self._evaluate(
+            "peephole", "remove redundant jumps from microprograms",
+            arch, storage_map)
+        steps.append(step)
+        if step.meets_constraints:
+            return ImprovementResult(steps, system)
+
+        # 2a. storage promotion: externals -> internal RAM
+        promoted = hot_globals(system)
+        storage_map = {name: StorageClass.INTERNAL for name in promoted}
+        system, step = self._evaluate(
+            "promote-internal",
+            f"promote {len(promoted)} globals from external to internal RAM",
+            arch, storage_map)
+        steps.append(step)
+        if step.meets_constraints:
+            return ImprovementResult(steps, system)
+
+        # 2b. storage promotion: hottest variables -> registers
+        arch = arch.with_(register_file_size=self.register_file_size)
+        hottest = hot_globals(system)[: self.register_file_size]
+        for name in hottest:
+            storage_map[name] = StorageClass.REGISTER
+        system, step = self._evaluate(
+            "promote-register",
+            f"promote {len(hottest)} hottest globals to registers",
+            arch, storage_map)
+        steps.append(step)
+        if step.meets_constraints:
+            return ImprovementResult(steps, system)
+
+        # 3. pattern-matched hardware
+        pattern_flags = {}
+        if find_comparator_sites(system.checked.program):
+            pattern_flags["has_comparator"] = True
+        if find_negation_sites(system.checked.program):
+            pattern_flags["has_negator"] = True
+        if pattern_flags:
+            arch = arch.with_(**pattern_flags)
+            system, step = self._evaluate(
+                "patterns",
+                "insert " + " and ".join(sorted(pattern_flags)),
+                arch, storage_map)
+            steps.append(step)
+            if step.meets_constraints:
+                return ImprovementResult(steps, system)
+
+        # 4. custom instructions
+        candidates = find_custom_candidates(
+            system.checked.program,
+            max_operands=2 + arch.register_file_size)
+        selected = []
+        for candidate in candidates:
+            custom = candidate.to_instruction(len(selected))
+            if custom_instruction_is_safe(custom, arch):
+                selected.append(custom)
+            if len(selected) >= self.max_custom_instructions:
+                break
+        if selected:
+            arch = arch.with_(custom_instructions=tuple(selected))
+            system, step = self._evaluate(
+                "custom-instructions",
+                f"fuse {len(selected)} expression(s) into single-cycle units",
+                arch, storage_map)
+            steps.append(step)
+            if step.meets_constraints:
+                return ImprovementResult(steps, system)
+
+        # 4b. pipelined TEP (the paper's "future work", opt-in)
+        if self.allow_pipelining and not arch.pipelined:
+            arch = arch.with_(pipelined=True)
+            system, step = self._evaluate(
+                "pipeline", "pipeline the TEP (fetch overlapped, flush on "
+                "control transfers)", arch, storage_map)
+            steps.append(step)
+            if step.meets_constraints:
+                return ImprovementResult(steps, system)
+
+        # 5. wider data bus
+        if arch.data_width < 16:
+            arch = arch.with_(data_width=16, internal_ram_words=max(
+                64, arch.internal_ram_words))
+            system, step = self._evaluate(
+                "widen-bus", "widen the data bus to 16 bits",
+                arch, storage_map)
+            steps.append(step)
+            if step.meets_constraints:
+                return ImprovementResult(steps, system)
+
+        # 6. more TEPs (the last resort)
+        while arch.n_teps < self.max_teps:
+            arch = arch.with_(n_teps=arch.n_teps + 1,
+                              mutual_exclusions=self.mutual_exclusions)
+            system, step = self._evaluate(
+                "add-tep",
+                f"replicate to {arch.n_teps} TEPs "
+                f"({len(self.mutual_exclusions)} declared exclusions)",
+                arch, storage_map)
+            steps.append(step)
+            if step.meets_constraints:
+                return ImprovementResult(steps, system)
+
+        return ImprovementResult(steps, system)

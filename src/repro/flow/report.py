@@ -1,0 +1,97 @@
+"""Renderers for the paper's tables and figures.
+
+Every benchmark regenerates its table/figure through these helpers so the
+output format is uniform: plain ASCII tables with the same rows/columns the
+paper prints, plus DOT for the graph figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def ascii_table(headers: Sequence[str],
+                rows: Iterable[Sequence[object]],
+                title: str = "") -> str:
+    """A boxed, column-aligned table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths)) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(separator)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    for row in rendered_rows:
+        parts.append(line(row))
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def table1_report() -> str:
+    """Table 1: microcode format."""
+    from repro.isa.microcode import format_table1
+
+    rows = [(symbolic, f"{bits} {pattern}")
+            for symbolic, bits, pattern in format_table1()]
+    return ascii_table(["Symbolic", "Encoding"], rows,
+                       title="Table 1: Microcode format")
+
+
+def table2_report(chart) -> str:
+    """Table 2: timing constraints of the application chart."""
+    rows = [(event.name, event.period)
+            for event in chart.constrained_events()]
+    return ascii_table(["Event", "Cycles"], rows,
+                       title="Table 2: Timing Constraints")
+
+
+def table3_report(cycles) -> str:
+    """Table 3: detected event cycles."""
+    rows = [("{" + ", ".join(c.states) + "}", c.length) for c in cycles]
+    return ascii_table(["Cycle", "Length"], rows,
+                       title="Table 3: Event Cycles")
+
+
+def table4_report(rows: Sequence[Tuple[str, int, int, int]]) -> str:
+    """Table 4: area and timing results.
+
+    ``rows``: (architecture description, area CLBs, X/Y critical path,
+    DATA_VALID critical path).
+    """
+    return ascii_table(
+        ["Architecture", "Area", "Crit. Path X, Y", "Crit. Path DATA_VALID"],
+        rows, title="Table 4: Area and Timing Results")
+
+
+def comparison_table(title: str,
+                     rows: Sequence[Tuple[str, object, object]],
+                     value_names: Tuple[str, str] = ("paper", "measured")
+                     ) -> str:
+    """paper-vs-measured tables for EXPERIMENTS.md."""
+    return ascii_table(["Quantity", value_names[0], value_names[1]],
+                       rows, title=title)
+
+
+def architecture_figure(system) -> str:
+    """Fig. 1/Fig. 3: the generated machine structure, as indented text."""
+    arch = system.arch
+    est = system.area()
+    lines = [f"PSCP architecture ({arch.describe()})", "shared:"]
+    for component in est.shared:
+        lines.append(f"  {component.name:28s} {component.clbs:4d} CLBs")
+    for tep in range(arch.n_teps):
+        lines.append(f"TEP {tep}:")
+        for component in est.per_tep:
+            lines.append(f"  {component.name:28s} {component.clbs:4d} CLBs")
+    lines.append(f"total: {est.total_clbs} CLBs on {est.device().name}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Hardware modelling: component library, FPGA devices, area, floorplan,
+VHDL emission.
+
+Public API::
+
+    from repro.hw import estimate_area, floorplan, XC4025, tep_components
+"""
+
+from repro.hw.area import (
+    AppStats,
+    AreaEstimate,
+    SMD_APP_STATS,
+    estimate_area,
+    shared_components,
+)
+from repro.hw.device import (
+    DEVICES,
+    Device,
+    XC4003,
+    XC4005,
+    XC4010,
+    XC4013,
+    XC4020,
+    XC4025,
+    smallest_fitting,
+)
+from repro.hw.floorplan import Floorplan, FloorplanError, Placement, floorplan
+from repro.hw.library import (
+    Component,
+    DEFAULT_ROM_WORDS,
+    alu_delay_ns,
+    clock_period_ns,
+    custom_delay_ns,
+    custom_instruction_is_safe,
+    max_clock_mhz,
+    tep_area_clbs,
+    tep_components,
+)
+from repro.hw.vhdl import emit_decoder_rom_vhdl, emit_pscp_skeleton, emit_sla_vhdl
+
+__all__ = [
+    "AppStats", "AreaEstimate", "Component", "DEFAULT_ROM_WORDS", "DEVICES",
+    "Device", "Floorplan", "FloorplanError", "Placement", "SMD_APP_STATS",
+    "XC4003", "XC4005", "XC4010", "XC4013", "XC4020", "XC4025",
+    "alu_delay_ns", "clock_period_ns", "custom_delay_ns",
+    "custom_instruction_is_safe", "emit_decoder_rom_vhdl",
+    "emit_pscp_skeleton", "emit_sla_vhdl", "estimate_area", "floorplan",
+    "max_clock_mhz", "shared_components", "smallest_fitting",
+    "tep_area_clbs", "tep_components",
+]

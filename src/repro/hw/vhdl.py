@@ -1,0 +1,113 @@
+"""VHDL emission.
+
+Section 2: "The BLIF description is converted to VHDL, and can be
+immediately synthesized. […] three formats to represent hardware (PSCP macro
+blocks, schematics, and VHDL)."  This module emits synthesizable-style VHDL
+for the two generated hardware pieces:
+
+* the SLA as a two-level (PLA) process over the Configuration Register;
+* the microprogram decoder ROM as a constant array;
+* a structural TEP/PSCP top-level skeleton instantiating the macro blocks.
+
+The emitted text is meant to be read (and diffed in tests); no VHDL
+simulator is involved — the functional reference for the SLA is the PLA
+evaluator in :mod:`repro.sla.blif`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.isa.arch import ArchConfig
+from repro.isa.microcode import DecoderRom
+
+
+def _entity(name: str, ports: Sequence[Tuple[str, str, str]]) -> List[str]:
+    lines = [f"entity {name} is", "  port ("]
+    decls = [f"    {pname} : {direction} {ptype}"
+             for pname, direction, ptype in ports]
+    lines.append(";\n".join(decls))
+    lines.append("  );")
+    lines.append(f"end entity {name};")
+    return lines
+
+
+def emit_sla_vhdl(name: str,
+                  inputs: Sequence[str],
+                  outputs: Sequence[str],
+                  products: Dict[str, List[Tuple[Sequence[str], Sequence[str]]]]
+                  ) -> str:
+    """Emit the SLA PLA as VHDL.
+
+    ``products`` maps each output name to its product terms; a term is a
+    (positive literals, negated literals) pair over the input names.
+    """
+    lines = ["library ieee;", "use ieee.std_logic_1164.all;", ""]
+    ports = [(p, "in", "std_logic") for p in inputs]
+    ports += [(p, "out", "std_logic") for p in outputs]
+    lines += _entity(name, ports)
+    lines += ["", f"architecture pla of {name} is", "begin"]
+    for output in outputs:
+        terms = products.get(output, [])
+        if not terms:
+            lines.append(f"  {output} <= '0';")
+            continue
+        rendered = []
+        for positive, negated in terms:
+            literals = [f"{p} = '1'" for p in positive]
+            literals += [f"{n} = '0'" for n in negated]
+            rendered.append("(" + " and ".join(literals) + ")" if literals
+                            else "true")
+        condition = "\n      or ".join(rendered)
+        lines.append(f"  {output} <= '1' when {condition}\n"
+                     f"      else '0';")
+    lines += [f"end architecture pla;", ""]
+    return "\n".join(lines)
+
+
+def emit_decoder_rom_vhdl(rom: DecoderRom, name: str = "microdecoder") -> str:
+    """The application-specific microprogram decoder as a VHDL ROM."""
+    lines = ["library ieee;", "use ieee.std_logic_1164.all;",
+             "use ieee.numeric_std.all;", ""]
+    lines += _entity(name, [
+        ("uaddr", "in", "unsigned(7 downto 0)"),
+        ("uword", "out", "std_logic_vector(15 downto 0)"),
+    ])
+    lines += ["", f"architecture rom of {name} is",
+              "  type rom_t is array (natural range <>) of "
+              "std_logic_vector(15 downto 0);",
+              "  constant CONTENTS : rom_t := ("]
+    if rom.words:
+        body = ",\n".join(f'    x"{word:04x}"' for word in rom.words)
+        lines.append(body)
+    else:
+        lines.append('    x"0000"')
+    lines += ["  );", "begin",
+              "  uword <= CONTENTS(to_integer(uaddr)) "
+              "when to_integer(uaddr) < CONTENTS'length",
+              '           else x"0000";',
+              f"end architecture rom;", ""]
+    return "\n".join(lines)
+
+
+def emit_pscp_skeleton(arch: ArchConfig, name: str = "pscp") -> str:
+    """Structural top level: SLA + CR + scheduler + n TEP instances."""
+    width = arch.data_width
+    lines = ["library ieee;", "use ieee.std_logic_1164.all;", ""]
+    lines += _entity(name, [
+        ("clk", "in", "std_logic"),
+        ("reset", "in", "std_logic"),
+        ("event_bus", "in", "std_logic_vector(15 downto 0)"),
+        ("condition_bus", "inout", "std_logic_vector(15 downto 0)"),
+        (f"data_bus", "inout", f"std_logic_vector({width - 1} downto 0)"),
+    ])
+    lines += ["", f"architecture structure of {name} is", "begin",
+              "  u_sla : entity work.sla;",
+              "  u_cr : entity work.configuration_register;",
+              "  u_scheduler : entity work.scheduler;",
+              "  u_tat : entity work.transition_address_table;"]
+    for index in range(arch.n_teps):
+        lines.append(f"  u_tep{index} : entity work.tep "
+                     f"generic map (WIDTH => {width});")
+    lines += [f"end architecture structure;", ""]
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Structural WCET model for compiled routines.
+
+"If possible, the transition lengths are derived from the assembler code of
+their associated routines, otherwise explicit timing constraints must be
+specified" (section 4).  The code generator emits structured code (no
+computed jumps), so the worst-case execution time decomposes structurally:
+
+* a straight-line block costs the sum of its instructions' microprogram
+  lengths (:func:`repro.isa.microcode.cycle_cost`);
+* a branch costs its test plus the maximum of its arms;
+* a bounded loop costs ``(bound + 1)`` condition evaluations plus ``bound``
+  body executions;
+* a call costs the callee's WCET (no recursion, so routines resolve
+  callees-first).
+
+The same tree evaluated under different :class:`~repro.isa.arch.ArchConfig`
+values yields the per-architecture timings of Table 4 without recompiling —
+unless the architecture change alters code shape (wider bus, new
+instructions), in which case the flow recompiles first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.arch import ArchConfig
+from repro.isa.isa import Instruction
+from repro.isa.microcode import cycle_cost
+
+
+class CostNode:
+    """Base class of WCET tree nodes."""
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class Block(CostNode):
+    """A straight-line run of instructions (shared with the code list)."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        return sum(cycle_cost(i, arch) for i in self.instructions)
+
+
+@dataclass
+class Seq(CostNode):
+    parts: List[CostNode] = field(default_factory=list)
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        return sum(part.wcet(arch, routines) for part in self.parts)
+
+
+@dataclass
+class Branch(CostNode):
+    """A two-way branch; ``test`` is shared, the worst arm counts."""
+
+    test: CostNode
+    then_arm: CostNode
+    else_arm: CostNode
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        return self.test.wcet(arch, routines) + max(
+            self.then_arm.wcet(arch, routines),
+            self.else_arm.wcet(arch, routines))
+
+
+@dataclass
+class Loop(CostNode):
+    """A bounded loop: condition evaluated ``bound + 1`` times."""
+
+    test: CostNode
+    body: CostNode
+    bound: int
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        test = self.test.wcet(arch, routines)
+        body = self.body.wcet(arch, routines)
+        return (self.bound + 1) * test + self.bound * body
+
+
+@dataclass
+class CallCost(CostNode):
+    """The cost of a call's body (the CALL/RET instructions live in Blocks)."""
+
+    callee: str
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        if self.callee not in routines:
+            raise KeyError(
+                f"WCET of callee {self.callee!r} not available yet — "
+                "evaluate routines callees-first")
+        return routines[self.callee]
+
+
+@dataclass
+class FixedCost(CostNode):
+    """An explicit cycle count (``@wcet`` overrides, scheduler overheads)."""
+
+    cycles: int
+
+    def wcet(self, arch: ArchConfig, routines: Dict[str, int]) -> int:
+        return self.cycles
+
+
+def iter_blocks(node: CostNode):
+    """Yield every :class:`Block` in the tree, preorder."""
+    if isinstance(node, Block):
+        yield node
+    elif isinstance(node, Seq):
+        for part in node.parts:
+            yield from iter_blocks(part)
+    elif isinstance(node, Branch):
+        yield from iter_blocks(node.test)
+        yield from iter_blocks(node.then_arm)
+        yield from iter_blocks(node.else_arm)
+    elif isinstance(node, Loop):
+        yield from iter_blocks(node.test)
+        yield from iter_blocks(node.body)
+    # CallCost / FixedCost carry no instructions
+
+
+def verify_cost_tree(instructions: List[Instruction],
+                     tree: CostNode) -> List[str]:
+    """Consistency check between emitted code and its WCET tree.
+
+    Every emitted instruction must appear in exactly one block (otherwise
+    the WCET either misses or double-counts work).  Returns a list of
+    problems; empty means consistent.  The code generator is expected to
+    maintain this invariant — the property tests enforce it over random
+    programs.
+    """
+    problems: List[str] = []
+    seen: Dict[int, int] = {}
+    for block in iter_blocks(tree):
+        for instruction in block.instructions:
+            key = id(instruction)
+            seen[key] = seen.get(key, 0) + 1
+    for index, instruction in enumerate(instructions):
+        count = seen.get(id(instruction), 0)
+        if count == 0:
+            problems.append(f"instruction {index} ({instruction}) missing "
+                            "from the cost tree")
+        elif count > 1:
+            problems.append(f"instruction {index} ({instruction}) counted "
+                            f"{count} times")
+    total_in_tree = sum(count for count in seen.values())
+    if total_in_tree > len(instructions):
+        problems.append(
+            f"cost tree holds {total_in_tree} instruction slots for "
+            f"{len(instructions)} emitted instructions")
+    return problems
+
+
+def routine_wcets(
+    trees: Dict[str, CostNode],
+    order: List[str],
+    arch: ArchConfig,
+    overrides: Optional[Dict[str, int]] = None,
+) -> Dict[str, int]:
+    """Evaluate every routine's WCET, callees before callers.
+
+    ``order`` is the topological call order from the checker; ``overrides``
+    carries ``@wcet`` annotations that replace the derived value.
+    """
+    overrides = overrides or {}
+    results: Dict[str, int] = {}
+    for name in order:
+        if name in overrides and overrides[name] is not None:
+            results[name] = overrides[name]
+        else:
+            results[name] = trees[name].wcet(arch, results)
+    return results

@@ -1,0 +1,34 @@
+"""The PSCP machine: TEPs, configuration register, scheduler, ports, timers.
+
+Public API::
+
+    from repro.pscp import PscpMachine, Tep, DeadlineMonitor
+"""
+
+from repro.pscp.cr import ConfigurationRegister
+from repro.pscp.machine import (
+    MachineError,
+    MachineStep,
+    PscpMachine,
+    build_transition_stubs,
+    stub_wcet,
+)
+from repro.pscp.ports import PortBus, PortError
+from repro.pscp.scheduler import (
+    DISPATCH_OVERHEAD_CYCLES,
+    SLA_OVERHEAD_CYCLES,
+    DispatchPlan,
+    round_robin_dispatch,
+)
+from repro.pscp.tep import SimplePorts, Tep, TepError, TepState
+from repro.pscp.timers import InterruptController, Timer, TimerBank
+from repro.pscp.trace import DeadlineMonitor, DeadlineReport, EventRecord
+
+__all__ = [
+    "ConfigurationRegister", "DISPATCH_OVERHEAD_CYCLES", "DeadlineMonitor",
+    "DeadlineReport", "DispatchPlan", "EventRecord", "InterruptController",
+    "MachineError", "MachineStep", "PortBus", "PortError", "PscpMachine",
+    "SLA_OVERHEAD_CYCLES", "SimplePorts", "Tep", "TepError", "TepState",
+    "Timer", "TimerBank", "build_transition_stubs", "round_robin_dispatch",
+    "stub_wcet",
+]

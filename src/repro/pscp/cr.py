@@ -1,0 +1,79 @@
+"""The Configuration Register at run time.
+
+"The state information, together with the encoded events and conditions,
+forms the configuration register (CR) of the chart.  Its content describes
+the current state of an application."
+
+The runtime object keeps the symbolic view (event/condition/state sets) and
+produces the packed bit vector for the SLA on demand; both views are kept
+consistent through the :class:`~repro.sla.encode.CrLayout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.sla.encode import CrLayout
+
+
+class ConfigurationRegister:
+    """Events, conditions and the state field, with CR-bit packing."""
+
+    def __init__(self, layout: CrLayout) -> None:
+        self.layout = layout
+        chart = layout.chart
+        self.events: Set[str] = set()
+        self.conditions: Set[str] = {
+            name for name, condition in chart.conditions.items()
+            if condition.initial}
+        self.configuration: FrozenSet[str] = chart.initial_configuration()
+
+    # -- event part ---------------------------------------------------------
+    def sample_events(self, external: Iterable[str],
+                      internal: Iterable[str]) -> None:
+        """Start of a configuration cycle: load this cycle's events."""
+        chart = self.layout.chart
+        events = set(external) | set(internal)
+        unknown = events - set(chart.events)
+        if unknown:
+            raise KeyError(f"unknown events {sorted(unknown)!r}")
+        self.events = events
+
+    def reset_events(self) -> None:
+        """End of cycle: "events are only available during a single system
+        cycle" — the SLA resets the event part of the CR."""
+        self.events = set()
+
+    # -- condition part --------------------------------------------------------
+    def condition_vector(self) -> Dict[str, bool]:
+        return {name: name in self.conditions
+                for name in self.layout.chart.conditions}
+
+    def write_conditions(self, values: Dict[str, bool]) -> None:
+        for name, value in values.items():
+            if name not in self.layout.chart.conditions:
+                raise KeyError(f"unknown condition {name!r}")
+            if value:
+                self.conditions.add(name)
+            else:
+                self.conditions.discard(name)
+
+    # -- state part ----------------------------------------------------------
+    def update_states(self, exited: Iterable[str],
+                      entered: Iterable[str]) -> None:
+        configuration = set(self.configuration)
+        configuration -= set(exited)
+        configuration |= set(entered)
+        self.configuration = frozenset(configuration)
+
+    # -- packed view -----------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        return self.layout.pack(self.events, self.conditions,
+                                self.configuration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CR(events={sorted(self.events)}, "
+                f"conditions={sorted(self.conditions)}, "
+                f"states={sorted(self.configuration)})")

@@ -1,0 +1,351 @@
+"""The complete PSCP machine (Fig. 1).
+
+Assembles the synthesized SLA, the Configuration Register, the Transition
+Address Table, the scheduler and the TEP(s) executing compiled transition
+routines into one steppable machine:
+
+1. at the start of a configuration cycle, external events (plus events the
+   TEPs raised last cycle) are sampled into the CR;
+2. the SLA (the synthesized PLA, guard signals applied) produces the enabled
+   transition addresses into the TAT;
+3. the scheduler copies the CR's condition part into the condition caches
+   and dispatches the transitions round-robin to the TEPs; each transition
+   stub marshals its action's constant arguments and calls the compiled
+   routine; at the end the cache is copied back to the CR;
+4. state updates are applied, the event part of the CR is reset, and the
+   cycle's length (in reference-clock cycles) is the scheduler overhead plus
+   the makespan of the TEP queues.
+
+Execution of routines is sequential and deterministic (index order);
+parallelism across TEPs is a timing model — see
+:mod:`repro.pscp.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.isa.arch import ArchConfig
+from repro.isa.codegen import CompiledProgram
+from repro.isa.isa import Imm, Instruction, LabelRef, Op
+from repro.isa.microcode import cycle_cost
+from repro.pscp.cr import ConfigurationRegister
+from repro.pscp.ports import PortBus
+from repro.pscp.scheduler import (
+    DISPATCH_OVERHEAD_CYCLES,
+    SLA_OVERHEAD_CYCLES,
+    DispatchPlan,
+    round_robin_dispatch,
+)
+from repro.pscp.tep import Tep
+from repro.sla.synth import Pla, synthesize
+from repro.sla.table import TransitionAddressTable
+from repro.statechart.labels import action_arguments, action_routine_name
+from repro.statechart.model import Chart, Transition
+
+
+class MachineError(Exception):
+    """Raised for construction or stepping problems."""
+
+
+# ---------------------------------------------------------------------------
+# transition stubs
+# ---------------------------------------------------------------------------
+
+def _resolve_argument(argument: str, compiled: CompiledProgram) -> int:
+    argument = argument.strip()
+    if argument in compiled.enum_values:
+        return compiled.enum_values[argument]
+    try:
+        if argument.lower().startswith("0x"):
+            return int(argument, 16)
+        if argument.lower().startswith("b:"):
+            return int(argument[2:], 2)
+        return int(argument)
+    except ValueError:
+        raise MachineError(
+            f"cannot resolve action argument {argument!r}: transition label "
+            "arguments must be integers or enum members") from None
+
+
+def _builtin_stub_body(routine: str, transition, compiled: CompiledProgram):
+    """Builtin actions in labels (``SetTrue(XFINISH)`` — Fig. 5) compile to
+    a single CR/cache instruction in the stub, no routine call needed."""
+    from repro.isa.isa import SignalRef
+
+    ops = {"SetTrue": Op.CSET, "SetFalse": Op.CCLR, "Raise": Op.EVSET}
+    if routine not in ops:
+        return None
+    arguments = action_arguments(transition.action)
+    if len(arguments) != 1:
+        raise MachineError(
+            f"transition {transition.describe()}: {routine} takes one name")
+    name = arguments[0]
+    pool = (compiled.maps.events if routine == "Raise"
+            else compiled.maps.conditions)
+    if name not in pool:
+        raise MachineError(
+            f"transition {transition.describe()}: unknown "
+            f"{'event' if routine == 'Raise' else 'condition'} {name!r}")
+    return [Instruction(ops[routine], SignalRef(pool[name], name),
+                        comment=transition.action)]
+
+
+# ---------------------------------------------------------------------------
+# the machine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MachineStep:
+    """What one configuration cycle did."""
+
+    fired: List[Transition]
+    configuration: FrozenSet[str]
+    cycle_length: int
+    start_time: int
+    end_time: int
+    plan: Optional[DispatchPlan]
+    events_sampled: FrozenSet[str]
+    events_raised: FrozenSet[str]
+
+    @property
+    def quiescent(self) -> bool:
+        return not self.fired
+
+
+class PscpMachine:
+    """SLA + CR + scheduler + TAT + TEP(s) + compiled routines."""
+
+    def __init__(
+        self,
+        chart: Chart,
+        compiled: CompiledProgram,
+        pla: Optional[Pla] = None,
+        port_bus: Optional[PortBus] = None,
+        param_names: Optional[Dict[str, List[str]]] = None,
+    ) -> None:
+        self.chart = chart
+        self.compiled = compiled
+        self.arch = compiled.arch
+        self.pla = pla if pla is not None else synthesize(chart)
+        self.cr = ConfigurationRegister(self.pla.layout)
+        self.ports = port_bus if port_bus is not None else PortBus()
+        self.tat = TransitionAddressTable()
+        self._param_names = param_names or {}
+
+        stub_instructions, entries = self._build_stubs()
+        program = compiled.flat_instructions() + stub_instructions
+        for index, label in entries.items():
+            self.tat.bind(index, label)
+        #: single executor with shared memory; see scheduler docstring
+        self.executor = Tep(self.arch, program, ports=self.ports,
+                            name="tep-shared")
+        self.executor.load_memory(compiled.allocator.initial_values)
+        self._pending_internal_events: Set[str] = set()
+        self.time = 0
+        self.cycle_count = 0
+        self.history: List[MachineStep] = []
+
+    # -- construction helpers ------------------------------------------------
+    def _build_stubs(self):
+        return build_transition_stubs(
+            self.chart, self.compiled, self._param_names or None)
+
+    # -- stepping ----------------------------------------------------------------
+    def step(self, external_events: Iterable[str] = ()) -> MachineStep:
+        """Run one configuration cycle."""
+        external = set(external_events)
+        unknown = external - set(self.chart.events)
+        if unknown:
+            raise MachineError(f"unknown external events {sorted(unknown)!r}")
+        internal = self._pending_internal_events
+        self._pending_internal_events = set()
+        self.cr.sample_events(external, internal)
+        sampled = frozenset(self.cr.events)
+
+        enabled = self.pla.enabled(self.cr.bits)
+        self.tat.post(enabled)
+
+        transitions = [self.chart.transitions[i] for i in enabled]
+        plan = round_robin_dispatch(
+            enabled, self._routine_of, self.arch) if enabled else None
+
+        costs: Dict[int, int] = {}
+        raised_names: Set[str] = set()
+        event_index_to_name = {index: name for name, index
+                               in self.compiled.maps.events.items()}
+        condition_index_to_name = {index: name for name, index
+                                   in self.compiled.maps.conditions.items()}
+
+        while not self.tat.empty:
+            index = self.tat.pop()
+            assert index is not None
+            # condition cache copy-in
+            for name, value in self.cr.condition_vector().items():
+                cache_index = self.compiled.maps.conditions.get(name)
+                if cache_index is not None:
+                    self.executor.condition_cache[cache_index] = value
+            self.executor.events_raised = set()
+            costs[index] = self.executor.run(self.tat.entry(index))
+            # condition cache copy-back
+            updates = {}
+            for cache_index, name in condition_index_to_name.items():
+                updates[name] = self.executor.condition_cache[cache_index]
+            self.cr.write_conditions(updates)
+            for event_index in self.executor.events_raised:
+                name = event_index_to_name.get(event_index)
+                if name is None:
+                    raise MachineError(
+                        f"routine raised unknown event index {event_index}")
+                raised_names.add(name)
+
+        # state update (same per-transition order as the interpreter)
+        configuration = set(self.cr.configuration)
+        for transition in transitions:
+            exited = self.chart.exit_set(transition, frozenset(configuration))
+            entered = self.chart.entry_set(transition)
+            configuration -= exited
+            configuration |= entered
+        self.cr.configuration = frozenset(configuration)
+
+        self.cr.reset_events()
+        self._pending_internal_events |= raised_names
+
+        makespan = plan.makespan(lambda i: costs[i]) if plan else 0
+        cycle_length = SLA_OVERHEAD_CYCLES + makespan
+        step = MachineStep(
+            fired=transitions,
+            configuration=self.cr.configuration,
+            cycle_length=cycle_length,
+            start_time=self.time,
+            end_time=self.time + cycle_length,
+            plan=plan,
+            events_sampled=sampled,
+            events_raised=frozenset(raised_names),
+        )
+        self.time += cycle_length
+        self.cycle_count += 1
+        self.history.append(step)
+        return step
+
+    def run(self, traces: Iterable[Iterable[str]]) -> List[MachineStep]:
+        return [self.step(events) for events in traces]
+
+    def _routine_of(self, transition_index: int) -> Optional[str]:
+        transition = self.chart.transitions[transition_index]
+        if not transition.action:
+            return None
+        return action_routine_name(transition.action)
+
+    # -- convenience ------------------------------------------------------------
+    def condition(self, name: str) -> bool:
+        return name in self.cr.conditions
+
+    def in_state(self, name: str) -> bool:
+        return name in self.cr.configuration
+
+    def read_global(self, name: str) -> int:
+        loc = self.compiled.allocator.locations[name]
+        return self.executor.read_variable(loc)
+
+    def write_global(self, name: str, value: int) -> None:
+        loc = self.compiled.allocator.locations[name]
+        self.executor.write_variable(loc, value)
+
+
+def build_transition_stubs(
+    chart: Chart,
+    compiled: CompiledProgram,
+    param_names: Optional[Dict[str, List[str]]],
+) -> Tuple[List[Instruction], Dict[int, str]]:
+    """Stub generation with explicit per-routine parameter name lists.
+
+    ``param_names`` maps routine name to its parameter names in order; when
+    ``None`` it is recovered from the compiled objects' cost trees is not
+    possible, so the caller (the flow) should pass it — the fallback assumes
+    parameterless routines only and raises otherwise.
+    """
+    instructions: List[Instruction] = []
+    entries: Dict[int, str] = {}
+    arch = compiled.arch
+    for transition in chart.transitions:
+        label = f"__t{transition.index}"
+        entries[transition.index] = label
+        body: List[Instruction] = []
+        if transition.action:
+            routine = action_routine_name(transition.action)
+            builtin = _builtin_stub_body(routine, transition, compiled)
+            if builtin is not None:
+                body.extend(builtin)
+                body.append(Instruction(Op.TRET, comment=transition.describe()))
+                body[0] = body[0].with_label(label)
+                instructions.extend(body)
+                continue
+            if routine not in compiled.objects:
+                raise MachineError(
+                    f"transition {transition.describe()}: routine "
+                    f"{routine!r} was not compiled")
+            arguments = action_arguments(transition.action)
+            if param_names is not None:
+                params = param_names.get(routine, [])
+            elif arguments:
+                raise MachineError(
+                    f"transition {transition.describe()}: parameter names "
+                    f"for {routine!r} are required to marshal arguments")
+            else:
+                params = []
+            if len(arguments) != len(params):
+                raise MachineError(
+                    f"transition {transition.describe()}: {routine} takes "
+                    f"{len(params)} argument(s), label passes "
+                    f"{len(arguments)}")
+            mask = (1 << arch.data_width) - 1
+            for argument, param_name in zip(arguments, params):
+                value = _resolve_argument(argument, compiled)
+                loc = compiled.allocator.locations[f"{routine}.{param_name}"]
+                for word_index, operand in enumerate(loc.words):
+                    word = (value >> (word_index * arch.data_width)) & mask
+                    body.append(Instruction(Op.LDA, Imm(word)))
+                    body.append(Instruction(Op.STA, operand))
+            body.append(Instruction(Op.CALL, LabelRef(routine),
+                                    comment=transition.action))
+        body.append(Instruction(Op.TRET, comment=transition.describe()))
+        body[0] = body[0].with_label(label)
+        instructions.extend(body)
+    return instructions, entries
+
+
+def stub_wcet(transition: Transition, compiled: CompiledProgram,
+              param_names: Optional[Dict[str, List[str]]] = None) -> int:
+    """Static worst-case cycles of one transition's stub + routine.
+
+    This is the per-transition quantity the timing validator sums along
+    event cycles (plus the scheduler's dispatch overhead).
+    """
+    arch = compiled.arch
+    wcets = compiled.wcets()
+    if transition.wcet_override is not None:
+        # "otherwise explicit timing constraints must be specified"
+        return transition.wcet_override
+    total = cycle_cost(Instruction(Op.TRET), arch)
+    if transition.action:
+        routine = action_routine_name(transition.action)
+        if routine in ("SetTrue", "SetFalse", "Raise"):
+            from repro.isa.isa import SignalRef
+            op = {"SetTrue": Op.CSET, "SetFalse": Op.CCLR,
+                  "Raise": Op.EVSET}[routine]
+            return total + cycle_cost(Instruction(op, SignalRef(0)), arch)
+        arguments = action_arguments(transition.action)
+        params = (param_names or {}).get(routine, [""] * len(arguments))
+        for argument, param_name in zip(arguments, params):
+            key = f"{routine}.{param_name}"
+            if key in compiled.allocator.locations:
+                loc = compiled.allocator.locations[key]
+                for word_index in range(loc.n_words):
+                    total += cycle_cost(Instruction(Op.LDA, Imm(0)), arch)
+                    total += cycle_cost(
+                        Instruction(Op.STA, loc.word(word_index)), arch)
+        total += cycle_cost(Instruction(Op.CALL, LabelRef(routine)), arch)
+        total += wcets[routine]
+    return total

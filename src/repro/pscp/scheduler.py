@@ -1,0 +1,88 @@
+"""Transition dispatch: round-robin over TEPs, with mutual exclusions.
+
+"The scheduler copies the contents of the condition part of the CR into the
+local condition caches, and assigns the execution of the individual
+transitions to the available TEPs employing a round-robin protocol.  Thus,
+depending on the number of TEPs, several transitions can be executed in
+parallel."  And for multi-TEP versions: "designers must indicate which
+transition routines should be mutually exclusive.  Then, additional decode
+logic can be generated so that mutually exclusive routines are not scheduled
+in parallel."
+
+The simulator executes transitions sequentially (so shared-memory effects
+are deterministic); parallelism is a *timing* model: the cycle's length is
+the makespan of the per-TEP queues.  Mutually exclusive routines are forced
+onto the same TEP queue, which serializes them exactly as the paper's decode
+logic would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.arch import ArchConfig
+
+#: scheduler cycles to enable the SLA and latch the Transition Address Table
+SLA_OVERHEAD_CYCLES = 2
+#: scheduler cycles per dispatched transition: trigger the TEP, transition
+#: address pickup, condition-cache copy-in and copy-back
+DISPATCH_OVERHEAD_CYCLES = 4
+
+
+@dataclass
+class DispatchPlan:
+    """Per-TEP queues for one configuration cycle."""
+
+    queues: List[List[int]]
+    #: execution order across the machine (queue-major is NOT the order —
+    #: transitions run in index order for deterministic shared state)
+    order: List[int]
+
+    def tep_of(self, transition_index: int) -> int:
+        for tep, queue in enumerate(self.queues):
+            if transition_index in queue:
+                return tep
+        raise KeyError(transition_index)
+
+    def makespan(self, cost: Callable[[int], int]) -> int:
+        """Cycle count of the parallel phase given per-transition costs."""
+        if not self.order:
+            return 0
+        return max(
+            sum(cost(index) + DISPATCH_OVERHEAD_CYCLES for index in queue)
+            for queue in self.queues if queue)
+
+
+def round_robin_dispatch(
+    transition_indices: Sequence[int],
+    routine_of: Callable[[int], Optional[str]],
+    arch: ArchConfig,
+) -> DispatchPlan:
+    """Assign this cycle's transitions to TEP queues.
+
+    Round-robin in transition-index order; a transition whose routine is
+    declared mutually exclusive with a routine already queued on another TEP
+    is appended to *that* TEP's queue instead (serialization through the
+    generated decode logic).
+    """
+    queues: List[List[int]] = [[] for _ in range(arch.n_teps)]
+    order = sorted(transition_indices)
+    next_tep = 0
+    for index in order:
+        routine = routine_of(index)
+        target = None
+        if routine is not None and arch.mutual_exclusions:
+            for tep, queue in enumerate(queues):
+                for queued in queue:
+                    other = routine_of(queued)
+                    if other is not None and arch.mutually_exclusive(routine, other):
+                        target = tep
+                        break
+                if target is not None:
+                    break
+        if target is None:
+            target = next_tep
+            next_tep = (next_tep + 1) % arch.n_teps
+        queues[target].append(index)
+    return DispatchPlan(queues, order)

@@ -1,0 +1,102 @@
+"""Cycle traces and deadline monitoring.
+
+The paper's timing constraints (Table 2) are event arrival periods: an
+event arriving every P reference-clock cycles must be consumed before its
+next arrival.  The :class:`DeadlineMonitor` watches a machine's steps and
+records, per constrained event, the latency from arrival to the end of the
+configuration cycle that consumed it — the dynamic counterpart of the static
+event-cycle bounds, used by the closed-loop validation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.pscp.machine import MachineStep
+from repro.statechart.model import Chart
+
+
+@dataclass
+class EventRecord:
+    """One arrival of a constrained event."""
+
+    event: str
+    arrival_time: int
+    consumed_time: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.consumed_time is None:
+            return None
+        return self.consumed_time - self.arrival_time
+
+
+@dataclass
+class DeadlineReport:
+    event: str
+    period: int
+    arrivals: int
+    consumed: int
+    worst_latency: Optional[int]
+    misses: int
+
+    @property
+    def met(self) -> bool:
+        return self.misses == 0 and self.arrivals == self.consumed
+
+
+class DeadlineMonitor:
+    """Feed it every arrival and every machine step; ask for reports."""
+
+    def __init__(self, chart: Chart) -> None:
+        self.chart = chart
+        self.periods: Dict[str, int] = {
+            event.name: event.period
+            for event in chart.constrained_events()}
+        self.records: Dict[str, List[EventRecord]] = {
+            name: [] for name in self.periods}
+        self._open: Dict[str, EventRecord] = {}
+
+    def arrival(self, event: str, time: int) -> None:
+        """An external constrained event was offered to the machine."""
+        if event not in self.periods:
+            return
+        record = EventRecord(event, time)
+        self.records[event].append(record)
+        # a still-unconsumed previous arrival is a miss (overwritten event)
+        self._open[event] = record
+
+    def observe(self, step: MachineStep) -> None:
+        """Give the monitor the machine step that sampled recent arrivals."""
+        for event in step.events_sampled:
+            record = self._open.get(event)
+            if record is None:
+                continue
+            consuming = any(t.consumes(event) for t in step.fired)
+            if consuming:
+                record.consumed_time = step.end_time
+                del self._open[event]
+
+    def report(self, event: str) -> DeadlineReport:
+        period = self.periods[event]
+        records = self.records[event]
+        consumed = [r for r in records if r.latency is not None]
+        worst = max((r.latency for r in consumed), default=None)
+        misses = sum(1 for r in consumed if r.latency > period)
+        misses += len(records) - len(consumed) - (1 if event in self._open else 0)
+        # an arrival superseded by a newer one before consumption is a miss
+        return DeadlineReport(
+            event=event,
+            period=period,
+            arrivals=len(records),
+            consumed=len(consumed),
+            worst_latency=worst,
+            misses=misses,
+        )
+
+    def reports(self) -> List[DeadlineReport]:
+        return [self.report(event) for event in self.periods]
+
+    def all_met(self) -> bool:
+        return all(report.misses == 0 for report in self.reports())

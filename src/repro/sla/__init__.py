@@ -1,0 +1,31 @@
+"""Statechart Logic Array synthesis: state encoding, PLA generation, BLIF.
+
+Public API::
+
+    from repro.sla import synthesize, cr_layout, emit_blif
+"""
+
+from repro.sla.blif import (
+    BlifError,
+    BlifModel,
+    emit_blif,
+    evaluate_pla_via_blif,
+    parse_blif,
+)
+from repro.sla.encode import (
+    CrLayout,
+    FieldConstraint,
+    StateEncoding,
+    binary_encoding,
+    cr_layout,
+    onehot_encoding,
+)
+from repro.sla.synth import Pla, ProductTerm, SynthesisError, synthesize
+from repro.sla.table import TatError, TransitionAddressTable
+
+__all__ = [
+    "BlifError", "BlifModel", "CrLayout", "FieldConstraint", "Pla",
+    "ProductTerm", "StateEncoding", "SynthesisError", "TatError",
+    "TransitionAddressTable", "binary_encoding", "cr_layout", "emit_blif",
+    "evaluate_pla_via_blif", "onehot_encoding", "parse_blif", "synthesize",
+]

@@ -1,0 +1,178 @@
+"""SLA synthesis: chart → PLA product terms (Fig. 1).
+
+"The SLA … implements the semantics of the chart, and acts as a scheduler
+for the transitions.  The SLA executes transitions based on the contents of
+the CR.  The SLA generates four sets of outputs: It resets the event parts
+of the CR …, it produces a set of signals for the Transition Address Table,
+and updates the state part of the CR under the control of the guard signals
+G0..Gm."
+
+We synthesize a two-level (PLA) network over the CR bits:
+
+* one output ``t<i>`` per transition: asserted when the source state is
+  active and the trigger/guard expression holds (the expression's
+  sum-of-products becomes one AND-plane row per product);
+* one output ``evreset_<e>`` per event: events are consumed after each
+  configuration cycle;
+* the guard outputs ``g<m>``: conflict arbitration (outer scope wins,
+  declaration order ties) is emitted as priority terms — output ``t<i>``
+  suppressed by any conflicting higher-priority transition is listed in
+  :attr:`Pla.guards` so the scheduler (hardware: extra decode logic) can
+  apply them.
+
+The functional reference for all of this is the statechart interpreter; the
+equivalence is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.sla.encode import CrLayout, cr_layout
+from repro.statechart.model import Chart, Transition
+
+
+@dataclass(frozen=True)
+class ProductTerm:
+    """One AND-plane row: literals are (CR bit, required value)."""
+
+    literals: Tuple[Tuple[int, bool], ...]
+
+    def matches(self, bits: int) -> bool:
+        return all(((bits >> bit) & 1) == int(value)
+                   for bit, value in self.literals)
+
+    @property
+    def n_literals(self) -> int:
+        return len(self.literals)
+
+
+@dataclass
+class Pla:
+    """The synthesized SLA network."""
+
+    layout: CrLayout
+    #: per transition index: its product terms (OR-plane row)
+    transition_terms: Dict[int, List[ProductTerm]]
+    #: per transition index: the higher-priority transition indices that
+    #: suppress it (the guard-signal network G0..Gm)
+    guards: Dict[int, FrozenSet[int]]
+
+    @property
+    def product_terms(self) -> int:
+        return sum(len(terms) for terms in self.transition_terms.values())
+
+    @property
+    def literal_count(self) -> int:
+        return sum(term.n_literals
+                   for terms in self.transition_terms.values()
+                   for term in terms)
+
+    def raw_enabled(self, cr_bits: int) -> List[int]:
+        """Transition indices whose PLA output is asserted (pre-guard)."""
+        return [index for index, terms in self.transition_terms.items()
+                if any(term.matches(cr_bits) for term in terms)]
+
+    def enabled(self, cr_bits: int) -> List[int]:
+        """Transition indices after guard arbitration — what the Transition
+        Address Table receives."""
+        raw = set(self.raw_enabled(cr_bits))
+        return sorted(index for index in raw
+                      if not (self.guards[index] & raw))
+
+    def output_names(self) -> List[str]:
+        return [f"t{index}" for index in sorted(self.transition_terms)]
+
+    def as_products_by_output(self):
+        """For the VHDL/BLIF emitters: output name -> (pos, neg) name pairs."""
+        input_names = self.layout.input_names()
+        result = {}
+        for index, terms in self.transition_terms.items():
+            rendered = []
+            for term in terms:
+                positive = [input_names[bit] for bit, value in term.literals
+                            if value]
+                negative = [input_names[bit] for bit, value in term.literals
+                            if not value]
+                rendered.append((positive, negative))
+            result[f"t{index}"] = rendered
+        return result
+
+
+class SynthesisError(Exception):
+    """Raised when a chart cannot be synthesized (e.g. unresolved refs)."""
+
+
+def _expression_terms(expression, layout: CrLayout):
+    """Sum-of-products of a trigger/guard over CR bit literals."""
+    if expression is None:
+        return [tuple()]
+    products = expression.to_sop()
+    if not products:
+        # contradictory expression: transition can never fire
+        return []
+    rendered = []
+    for positive, negative in products:
+        literals = [(layout.signal_bit(name), True) for name in sorted(positive)]
+        literals += [(layout.signal_bit(name), False) for name in sorted(negative)]
+        rendered.append(tuple(literals))
+    return rendered
+
+
+def synthesize(chart: Chart, onehot: bool = False) -> Pla:
+    """Build the SLA PLA for *chart*."""
+    from repro.statechart.model import StateKind
+
+    for state in chart.states.values():
+        if state.kind is StateKind.REF:
+            raise SynthesisError(
+                f"chart {chart.name!r} still contains unresolved reference "
+                f"{state.name!r}; run resolve_references() first")
+
+    layout = cr_layout(chart, onehot=onehot)
+    transition_terms: Dict[int, List[ProductTerm]] = {}
+
+    for transition in chart.transitions:
+        state_literals = layout.state_literals(transition.source)
+        terms: List[ProductTerm] = []
+        trigger_products = _expression_terms(transition.trigger, layout)
+        guard_products = _expression_terms(transition.guard, layout)
+        for trigger_term in trigger_products:
+            for guard_term in guard_products:
+                combined = dict(state_literals)
+                consistent = True
+                for bit, value in trigger_term + guard_term:
+                    if combined.get(bit, value) != value:
+                        consistent = False
+                        break
+                    combined[bit] = value
+                if consistent:
+                    terms.append(ProductTerm(tuple(sorted(combined.items()))))
+        transition_terms[transition.index] = terms
+
+    guards = _guard_network(chart)
+    return Pla(layout, transition_terms, guards)
+
+
+def _guard_network(chart: Chart) -> Dict[int, FrozenSet[int]]:
+    """Which transitions suppress which (outer scope wins, then index)."""
+    guards: Dict[int, Set[int]] = {t.index: set() for t in chart.transitions}
+    transitions = chart.transitions
+    for a in transitions:
+        scope_a = chart.transition_scope(a)
+        for b in transitions:
+            if a.index == b.index:
+                continue
+            scope_b = chart.transition_scope(b)
+            related = (chart.is_ancestor(scope_a, scope_b)
+                       or chart.is_ancestor(scope_b, scope_a))
+            if not related:
+                continue
+            # b beats a if b's scope is strictly outer, or same depth
+            # with a smaller index
+            depth_a = chart.depth(scope_a)
+            depth_b = chart.depth(scope_b)
+            if depth_b < depth_a or (depth_b == depth_a and b.index < a.index):
+                guards[a.index].add(b.index)
+    return {index: frozenset(values) for index, values in guards.items()}

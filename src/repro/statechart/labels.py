@@ -1,0 +1,143 @@
+"""Parsing of transition label strings.
+
+The figures of the paper use the classic statechart label syntax::
+
+    trigger [guard] / action
+
+with every part optional:
+
+* ``INIT or ALLRESET/InitializeAll()``       trigger + action
+* ``[DATA_VALID]/GetByte()``                 guard + action
+* ``X_PULSE/DeltaT(MX)``                     trigger + action
+* ``[MOVEMENT]``                             guard only
+* ``END_MOVE``                               trigger only
+* ``/StartMotor(MX, XParams)``               action only (completion)
+
+The trigger and guard parts are boolean expressions over event/condition
+names (:mod:`repro.statechart.expr`).  The action part is kept as call text;
+it is resolved against the routine library written in the intermediate C
+dialect by the code-generation flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.statechart.expr import Expr, ExprError, parse_expr
+
+
+class LabelError(Exception):
+    """Raised for malformed transition labels."""
+
+
+@dataclass(frozen=True)
+class Label:
+    """The three parsed parts of a transition label."""
+
+    trigger: Optional[Expr]
+    guard: Optional[Expr]
+    action: Optional[str]
+
+    def __str__(self) -> str:
+        parts = []
+        if self.trigger is not None:
+            parts.append(str(self.trigger))
+        if self.guard is not None:
+            parts.append(f"[{self.guard}]")
+        if self.action:
+            parts.append(f"/{self.action}")
+        return " ".join(parts)
+
+
+def _split_action(text: str) -> Tuple[str, Optional[str]]:
+    """Split at the first '/' that is outside brackets and parentheses."""
+    depth = 0
+    for i, ch in enumerate(text):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "/" and depth == 0:
+            return text[:i], text[i + 1:].strip()
+    return text, None
+
+
+def _split_guard(text: str) -> Tuple[str, Optional[str]]:
+    """Split ``trigger [guard]`` into its two pieces.
+
+    The guard is the last top-level ``[...]`` group; everything before it is
+    the trigger expression.
+    """
+    text = text.strip()
+    if not text.endswith("]"):
+        return text, None
+    depth = 0
+    for i in range(len(text) - 1, -1, -1):
+        ch = text[i]
+        if ch == "]":
+            depth += 1
+        elif ch == "[":
+            depth -= 1
+            if depth == 0:
+                return text[:i].strip(), text[i + 1:-1].strip()
+    raise LabelError(f"unbalanced brackets in label {text!r}")
+
+
+def parse_label(text: str) -> Label:
+    """Parse a transition label into (trigger, guard, action)."""
+    text = text.strip()
+    if not text:
+        return Label(None, None, None)
+    head, action = _split_action(text)
+    trigger_text, guard_text = _split_guard(head.strip())
+    try:
+        trigger = parse_expr(trigger_text) if trigger_text else None
+        guard = parse_expr(guard_text) if guard_text else None
+    except ExprError as exc:
+        raise LabelError(f"bad label {text!r}: {exc}") from exc
+    if action == "":
+        action = None
+    return Label(trigger, guard, action)
+
+
+def action_routine_name(action: str) -> str:
+    """Extract the routine name from action call text like ``DeltaT(MX)``.
+
+    Actions without parentheses (bare routine names) are accepted too.
+    """
+    action = action.strip()
+    paren = action.find("(")
+    name = action if paren < 0 else action[:paren]
+    name = name.strip()
+    if not name.replace("_", "a").isalnum():
+        raise LabelError(f"bad action call {action!r}")
+    return name
+
+
+def action_arguments(action: str) -> Tuple[str, ...]:
+    """Extract the textual argument list from action call text."""
+    action = action.strip()
+    start = action.find("(")
+    if start < 0:
+        return ()
+    if not action.endswith(")"):
+        raise LabelError(f"bad action call {action!r}")
+    inner = action[start + 1:-1].strip()
+    if not inner:
+        return ()
+    args = []
+    depth = 0
+    current = []
+    for ch in inner:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    args.append("".join(current).strip())
+    return tuple(args)

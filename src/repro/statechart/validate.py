@@ -1,0 +1,159 @@
+"""Well-formedness checks for charts.
+
+These run before any synthesis or analysis step; each violation is collected
+so a designer sees every problem at once (the paper's frontend, the Statechart
+Structural Analyzer, plays this role).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.statechart.model import Chart, ChartError, StateKind
+
+
+def chart_problems(chart: Chart) -> List[str]:
+    """Return a list of human-readable well-formedness violations."""
+    problems: List[str] = []
+
+    declared = set(chart.events) | set(chart.conditions)
+
+    for state in chart.states.values():
+        if state.kind is StateKind.OR and state.children:
+            default = state.default or state.children[0]
+            if default not in state.children:
+                problems.append(
+                    f"OR-state {state.name!r}: default {default!r} is not a child")
+        if state.kind is StateKind.AND and len(state.children) < 2:
+            problems.append(
+                f"AND-state {state.name!r} has {len(state.children)} region(s); "
+                "needs at least 2")
+        if state.kind is StateKind.BASIC and state.children:
+            problems.append(
+                f"basic state {state.name!r} must not contain children")
+        if state.kind is StateKind.REF:
+            if state.ref is None:
+                problems.append(f"ref state {state.name!r} refers to no chart")
+            if state.children:
+                problems.append(
+                    f"ref state {state.name!r} must not contain children")
+
+    for transition in chart.transitions:
+        for name in sorted(transition.names_consumed()):
+            if name not in declared:
+                problems.append(
+                    f"transition {transition.describe()}: "
+                    f"undeclared event/condition {name!r}")
+        # AND states have no direct "current child" notion; transitions must
+        # target a state that can be entered by default completion, which any
+        # state can, so only unreachable endpoints matter:
+        if transition.target == chart.root:
+            problems.append(
+                f"transition {transition.describe()}: may not target the root")
+
+    for event in chart.events.values():
+        if event.period is not None and event.period <= 0:
+            problems.append(f"event {event.name!r}: period must be positive")
+
+    for port_name in {e.port for e in chart.events.values() if e.port}:
+        if port_name not in chart.ports:
+            problems.append(f"event port {port_name!r} is not declared")
+    for port_name in {c.port for c in chart.conditions.values() if c.port}:
+        if port_name not in chart.ports:
+            problems.append(f"condition port {port_name!r} is not declared")
+
+    return problems
+
+
+def chart_warnings(chart: Chart) -> List[str]:
+    """Non-fatal design smells: unreachable states, unused signals.
+
+    The paper's frontend (the Statechart Structural Analyzer) reports these
+    rather than rejecting the chart — an unreachable state still synthesizes,
+    it just wastes SLA terms and CR bits.
+    """
+    from repro.statechart.graph import reachable_states
+
+    warnings: List[str] = []
+    reached = reachable_states(chart)
+    for state in chart.states.values():
+        if state.name not in reached:
+            warnings.append(f"state {state.name!r} is structurally unreachable")
+
+    used = set()
+    for transition in chart.transitions:
+        used |= transition.names_consumed()
+    for name in chart.events:
+        if name not in used:
+            warnings.append(f"event {name!r} triggers no transition")
+    for name in chart.conditions:
+        if name not in used:
+            warnings.append(f"condition {name!r} guards no transition")
+    return warnings
+
+
+def validate_chart(chart: Chart) -> None:
+    """Raise :class:`ChartError` listing all problems, if any."""
+    problems = chart_problems(chart)
+    if problems:
+        raise ChartError(
+            f"chart {chart.name!r} is not well-formed:\n  " +
+            "\n  ".join(problems))
+
+
+def resolve_references(chart: Chart, library: dict) -> Chart:
+    """Inline every REF state from *library* (chart name -> Chart).
+
+    The referenced chart's top-level structure is copied under the REF
+    state's parent position: the REF state becomes an OR state whose children
+    are fresh copies of the referenced chart's top-level states.  Name clashes
+    are disambiguated by prefixing with the REF state's name.
+    """
+    from repro.statechart.model import State, Transition
+
+    refs = [s for s in chart.states.values() if s.kind is StateKind.REF]
+    for ref_state in refs:
+        if ref_state.ref is None or ref_state.ref not in library:
+            raise ChartError(
+                f"cannot resolve reference {ref_state.name!r} -> {ref_state.ref!r}")
+        sub = library[ref_state.ref]
+
+        def local(name: str) -> str:
+            return name if name not in chart.states else f"{ref_state.name}.{name}"
+
+        rename = {sub.root: ref_state.name}
+        for name in sub.descendants(sub.root):
+            rename[name] = local(name)
+
+        ref_state.kind = StateKind.OR
+        ref_state.ref = None
+        sub_root = sub.states[sub.root]
+        ref_state.default = rename[sub_root.default or sub_root.children[0]]
+
+        for name in sub.descendants(sub.root):
+            original = sub.states[name]
+            copy = State(
+                rename[name], original.kind,
+                children=[rename[c] for c in original.children],
+                default=rename[original.default] if original.default else None,
+                parent=rename[original.parent] if original.parent else None,
+                ref=original.ref)
+            chart.states[copy.name] = copy
+        ref_state.children = [rename[c] for c in sub_root.children]
+
+        for transition in sub.transitions:
+            chart.add_transition(
+                rename[transition.source], rename[transition.target],
+                trigger=transition.trigger, guard=transition.guard,
+                action=transition.action, label=transition.label,
+                wcet_override=transition.wcet_override)
+        for event in sub.events.values():
+            if event.name not in chart.events and event.name not in chart.conditions:
+                chart.add_event(event.name, width=event.width, port=event.port,
+                                period=event.period)
+        for condition in sub.conditions.values():
+            if (condition.name not in chart.conditions
+                    and condition.name not in chart.events):
+                chart.add_condition(condition.name, width=condition.width,
+                                    port=condition.port, initial=condition.initial)
+    return chart

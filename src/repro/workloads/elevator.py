@@ -1,0 +1,200 @@
+"""A second case study: a two-cab elevator-bank controller.
+
+The paper's intro motivates the PSCP with "industrial applications" beyond
+the single SMD example — controllers that juggle many simultaneous external
+events under hard reaction deadlines.  An elevator bank is the classic one:
+
+* two cabs move independently (an AND composition — the PSCP's parallel
+  TEPs map directly onto it);
+* hall calls arrive asynchronously and must be acknowledged quickly;
+* the **door-obstruction deadline** is safety-critical: a DOOR_BLOCKED
+  event while closing must reopen the door within a hard bound;
+* floor sensors tick as the cab moves (position tracking, like the SMD's
+  pulse counters).
+
+Per cab the chart is::
+
+    CabN: Parked --CALL--> Selecting --/PlanN()--> MovingN
+          MovingN: floor sensor self-loop (TrackN) until AT_FLOOR
+          DoorsN: Opening -> Open -> Closing -> shut
+          Closing --DOOR_BLOCKED--> Opening   (the hard deadline)
+
+The module provides the chart, the routines, and deadline constants; tests
+and the example drive it through the standard flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.statechart.builder import ChartBuilder
+from repro.statechart.model import Chart, PortKind, PortDirection
+
+#: reaction deadlines in reference-clock cycles
+ELEVATOR_CONSTRAINTS: Dict[str, int] = {
+    "DOOR_BLOCKED0": 400,     # safety: reopen within 400 cycles
+    "DOOR_BLOCKED1": 400,
+    "FLOOR_SENSOR0": 900,     # position tracking while moving
+    "FLOOR_SENSOR1": 900,
+    "HALL_CALL": 2500,        # acknowledge a call
+}
+
+#: routines sharing the call queue must never run in parallel
+ELEVATOR_MUTUAL_EXCLUSIONS: FrozenSet[FrozenSet[str]] = frozenset({
+    frozenset({"QueueCall", "Plan0"}),
+    frozenset({"QueueCall", "Plan1"}),
+    frozenset({"Plan0", "Plan1"}),
+})
+
+
+def elevator_chart() -> Chart:
+    b = ChartBuilder("elevator_bank")
+    b.event("POWER_ON")
+    b.event("HALL_CALL", period=ELEVATOR_CONSTRAINTS["HALL_CALL"],
+            port="PE_CALL")
+    for cab in (0, 1):
+        b.event(f"DISPATCH{cab}")
+        b.event(f"FLOOR_SENSOR{cab}",
+                period=ELEVATOR_CONSTRAINTS[f"FLOOR_SENSOR{cab}"],
+                port=f"PE_FS{cab}")
+        b.event(f"AT_FLOOR{cab}")
+        b.event(f"DOOR_BLOCKED{cab}",
+                period=ELEVATOR_CONSTRAINTS[f"DOOR_BLOCKED{cab}"],
+                port=f"PE_DB{cab}")
+        b.event(f"DOOR_TIMER{cab}")
+        b.event(f"DOORS_SHUT{cab}")
+        b.condition(f"BUSY{cab}")
+
+    b.port("PE_CALL", PortKind.EVENT, width=1, address=0o730)
+    b.port("CallFloor", PortKind.DATA, width=8, address=0o731,
+           direction=PortDirection.INPUT)
+    for cab in (0, 1):
+        b.port(f"PE_FS{cab}", PortKind.EVENT, width=1, address=0o732 + cab)
+        b.port(f"PE_DB{cab}", PortKind.EVENT, width=1, address=0o734 + cab)
+        b.port(f"Motor{cab}", PortKind.DATA, width=8,
+               address=0o736 + cab, direction=PortDirection.OUTPUT)
+        b.port(f"Door{cab}", PortKind.DATA, width=8,
+               address=0o740 + cab, direction=PortDirection.OUTPUT)
+
+    with b.or_state("Bank", default="Off"):
+        b.basic("Off").transition("Running", label="POWER_ON/InitBank()")
+        with b.and_state("Running"):
+            with b.or_state("Dispatcher", default="IdleD"):
+                b.basic("IdleD").transition(
+                    "Assigning", label="HALL_CALL/QueueCall()")
+                assigning = b.basic("Assigning")
+                assigning.transition(
+                    "IdleD", label="DISPATCH0 or DISPATCH1/ClearCall()")
+                assigning.transition(
+                    "Assigning", label="HALL_CALL/QueueCall()")
+            for cab in (0, 1):
+                with b.or_state(f"Cab{cab}", default=f"Parked{cab}"):
+                    b.basic(f"Parked{cab}").transition(
+                        f"Moving{cab}",
+                        label=f"DISPATCH{cab}/Plan{cab}()")
+                    moving = b.basic(f"Moving{cab}")
+                    moving.transition(
+                        f"Moving{cab}",
+                        label=f"FLOOR_SENSOR{cab}/Track{cab}()")
+                    moving.transition(
+                        f"Opening{cab}",
+                        label=f"AT_FLOOR{cab}/StopCab{cab}()")
+                    b.basic(f"Opening{cab}").transition(
+                        f"DoorOpen{cab}",
+                        label=f"DOOR_TIMER{cab}/HoldDoor{cab}()")
+                    b.basic(f"DoorOpen{cab}").transition(
+                        f"Closing{cab}",
+                        label=f"DOOR_TIMER{cab}/DriveDoor{cab}()")
+                    closing = b.basic(f"Closing{cab}")
+                    closing.transition(
+                        f"Opening{cab}",
+                        label=f"DOOR_BLOCKED{cab}/Reopen{cab}()")
+                    closing.transition(
+                        f"Parked{cab}",
+                        label=f"DOORS_SHUT{cab}/ParkCab{cab}()")
+    return b.build()
+
+
+def _cab_routines(cab: int) -> str:
+    return f"""
+void Plan{cab}() {{
+  int:16 distance;
+  distance = call_floor - position{cab};
+  if (distance < 0) {{
+    direction{cab} = 0;
+    distance = -distance;
+  }} else {{
+    direction{cab} = 1;
+  }}
+  remaining{cab} = distance;
+  SetTrue(BUSY{cab});
+  Motor{cab} = 1;
+}}
+
+void Track{cab}() {{
+  if (direction{cab} == 1) {{ position{cab} = position{cab} + 1; }}
+  else {{ position{cab} = position{cab} - 1; }}
+  remaining{cab} = remaining{cab} - 1;
+  if (remaining{cab} == 0) {{ Raise(AT_FLOOR{cab}); }}
+}}
+
+void StopCab{cab}() {{
+  Motor{cab} = 0;
+  Door{cab} = 1;
+}}
+
+void HoldDoor{cab}() {{
+  Door{cab} = 2;
+}}
+
+void DriveDoor{cab}() {{
+  Door{cab} = 3;
+}}
+
+void Reopen{cab}() {{
+  Door{cab} = 1;
+  blocked_count = blocked_count + 1;
+}}
+
+void ParkCab{cab}() {{
+  Door{cab} = 0;
+  SetFalse(BUSY{cab});
+}}
+"""
+
+
+ELEVATOR_ROUTINES = """
+int:16 call_floor;
+int:16 queue_depth;
+int:16 blocked_count;
+int:16 position0;
+int:16 position1;
+int:16 direction0;
+int:16 direction1;
+int:16 remaining0;
+int:16 remaining1;
+
+void InitBank() {
+  call_floor = 0;
+  queue_depth = 0;
+  blocked_count = 0;
+  position0 = 0;
+  position1 = 0;
+  SetFalse(BUSY0);
+  SetFalse(BUSY1);
+}
+
+void QueueCall() {
+  call_floor = CallFloor;
+  queue_depth = queue_depth + 1;
+  if (Test(BUSY0)) {
+    if (!Test(BUSY1)) { Raise(DISPATCH1); }
+  } else {
+    Raise(DISPATCH0);
+  }
+}
+
+void ClearCall() {
+  queue_depth = queue_depth - 1;
+}
+""" + _cab_routines(0) + _cab_routines(1)

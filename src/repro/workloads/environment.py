@@ -1,0 +1,212 @@
+"""Closed-loop testbench: PSCP machine ⇄ stepper motors ⇄ central controller.
+
+This is the dynamic counterpart of the static timing validation: the
+compiled controller runs on the cycle-counting PSCP machine while the motor
+physics of :mod:`repro.workloads.motors` generates the pulse events of
+Table 2, and a :class:`~repro.pscp.trace.DeadlineMonitor` records whether
+every constrained event was consumed within its period.
+
+Protocol (reconstructed; the paper gives only the constraints):
+
+* the central controller transfers a command byte-by-byte — one byte on the
+  ``Buffer`` port per ``DATA_VALID``, every 1500 cycles; move parameters are
+  placed in main memory by the controller (era-typical DMA), and
+  ``END_DATA`` closes the transfer;
+* ``PrepareMove`` raises the ``MOVEMENT`` condition; ``StartMove`` computes
+  the profiles; entering the ``Moving`` composite starts the three motors;
+* each motor's counter "issues a pulse on zero" — an ``X_PULSE``/
+  ``Y_PULSE``/``PHI_PULSE`` event the controller must service within its
+  deadline (``DeltaT`` reloads the counter);
+* when a motor's steps are exhausted the environment raises ``X_STEPS`` &c.;
+  when all three FINISH conditions hold it raises ``END_MOVE``;
+* ``BUF_EMPTY`` tells the controller no commands remain.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.flow.build import BuiltSystem
+from repro.pscp.machine import PscpMachine
+from repro.pscp.ports import PortBus
+from repro.pscp.trace import DeadlineMonitor, DeadlineReport
+from repro.workloads import motors as motor_models
+from repro.workloads.motors import Motor, MotorSpec, PHI_MOTOR, X_MOTOR, Y_MOTOR
+
+
+@dataclass(frozen=True)
+class MoveCommand:
+    """One pickup-head move, in motor steps."""
+
+    x_steps: int
+    y_steps: int
+    phi_steps: int
+    opcode: int = 1
+
+
+@dataclass
+class ClosedLoopReport:
+    """Outcome of a closed-loop run."""
+
+    commands_completed: int
+    commands_issued: int
+    final_positions: Dict[str, int]
+    deadline_reports: List[DeadlineReport]
+    total_cycles: int
+    configuration_cycles: int
+    worst_latencies: Dict[str, Optional[int]]
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        return all(report.misses == 0 for report in self.deadline_reports)
+
+    @property
+    def all_moves_completed(self) -> bool:
+        return self.commands_completed == self.commands_issued
+
+
+class SmdClosedLoop:
+    """Drives a built SMD system against the motor physics."""
+
+    COMMAND_PERIOD = motor_models.DATA_VALID_PERIOD_CYCLES
+    COMMAND_BYTES = 4
+
+    def __init__(self, system: BuiltSystem,
+                 motor_specs: Optional[Dict[str, MotorSpec]] = None) -> None:
+        self.system = system
+        self.ports = PortBus()
+        self.machine: PscpMachine = system.make_machine(port_bus=self.ports)
+        self.monitor = DeadlineMonitor(system.chart)
+        specs = motor_specs or {"X": X_MOTOR, "Y": Y_MOTOR, "Phi": PHI_MOTOR}
+        self.motors = {name: Motor(spec) for name, spec in specs.items()}
+        self._pulse_event = {"X": "X_PULSE", "Y": "Y_PULSE",
+                             "Phi": "PHI_PULSE"}
+        self._steps_event = {"X": "X_STEPS", "Y": "Y_STEPS",
+                             "Phi": "PHI_STEPS"}
+        self._finish_condition = {"X": "XFINISH", "Y": "YFINISH",
+                                  "Phi": "PHIFINISH"}
+        #: (time, event) heap of scheduled external events
+        self._queue: List[Tuple[int, int, str]] = []
+        self._sequence = 0
+        self._movement_seen = False
+        self._move_started = False
+
+    # -- event plumbing -------------------------------------------------------
+    def schedule(self, time: int, event: str) -> None:
+        heapq.heappush(self._queue, (time, self._sequence, event))
+        self._sequence += 1
+
+    def _due_events(self, now: int) -> Set[str]:
+        due: Set[str] = set()
+        while self._queue and self._queue[0][0] <= now:
+            when, _, event = heapq.heappop(self._queue)
+            self.monitor.arrival(event, when)
+            due.add(event)
+        return due
+
+    # -- command transfer -----------------------------------------------------
+    def _issue_command(self, command: MoveCommand, start_time: int) -> int:
+        """Schedule the byte transfer for *command*; returns its end time."""
+        time = start_time
+        for index in range(self.COMMAND_BYTES):
+            time += self.COMMAND_PERIOD
+            self.schedule(time, "DATA_VALID")
+        # parameters land in main memory (controller-side DMA)
+        self._pending_params = command
+        self._end_data_time = time + self.COMMAND_PERIOD // 4
+        self.schedule(self._end_data_time, "END_DATA")
+        return self._end_data_time
+
+    def _apply_params(self, command: MoveCommand) -> None:
+        target = self.system.compiled.allocator.locations["target"]
+        accel = self.system.compiled.allocator.locations["accel"]
+        vmax = self.system.compiled.allocator.locations["vmax"]
+        executor = self.machine.executor
+        width = self.system.arch.data_width
+        # arrays are word groups; write per element
+        def write_element(loc, index, value):
+            words_per = loc.n_words // 3
+            for w in range(words_per):
+                executor._write_location(
+                    loc.words[index * words_per + w],
+                    (value >> (w * width)) & ((1 << width) - 1))
+        for index, steps in enumerate(
+                (command.x_steps, command.y_steps, command.phi_steps)):
+            write_element(target, index, abs(steps))
+            write_element(accel, index, 2)
+            write_element(vmax, index, 50)
+        buffer_port = self.system.compiled.maps.ports["Buffer"]
+        self.ports.map_latch(buffer_port, command.opcode)
+
+    # -- the run loop -----------------------------------------------------------
+    def run(self, commands: Sequence[MoveCommand],
+            max_configuration_cycles: int = 20000) -> ClosedLoopReport:
+        machine = self.machine
+        pending = list(commands)
+        completed = 0
+        self.schedule(0, "POWER")
+        if pending:
+            self._apply_params(pending[0])
+            self._issue_command(pending[0], machine.time)
+        previous_time = -1
+
+        for _ in range(max_configuration_cycles):
+            now = machine.time
+            events = self._due_events(now)
+            # motor pulses since the previous configuration cycle
+            for name, motor in self.motors.items():
+                for when in motor.pulses_between(previous_time, now):
+                    events.add(self._pulse_event[name])
+                    self.monitor.arrival(self._pulse_event[name], when)
+                if (motor._pulses and not motor.moving
+                        and not machine.condition(
+                            self._finish_condition[name])):
+                    events.add(self._steps_event[name])
+            # END_MOVE once every motor reported finished
+            if (self._move_started
+                    and all(machine.condition(c)
+                            for c in self._finish_condition.values())):
+                events.add("END_MOVE")
+                self._move_started = False
+                completed += 1
+                pending.pop(0)
+                if pending:
+                    self._apply_params(pending[0])
+                    self._issue_command(pending[0], machine.time)
+                else:
+                    self.schedule(machine.time + self.COMMAND_PERIOD,
+                                  "BUF_EMPTY")
+            previous_time = now
+
+            step = machine.step(events)
+            self.monitor.observe(step)
+
+            # a move begins when the machine enters the Moving composite
+            if machine.in_state("Moving") and not self._move_started:
+                self._move_started = True
+                command = None
+                if completed < len(commands):
+                    command = commands[completed]
+                if command is not None:
+                    self.motors["X"].command_move(command.x_steps, machine.time)
+                    self.motors["Y"].command_move(command.y_steps, machine.time)
+                    self.motors["Phi"].command_move(command.phi_steps,
+                                                    machine.time)
+
+            if completed == len(commands) and not self._queue:
+                if all(not motor.moving for motor in self.motors.values()):
+                    break
+
+        return ClosedLoopReport(
+            commands_completed=completed,
+            commands_issued=len(commands),
+            final_positions={name: motor.position_steps
+                             for name, motor in self.motors.items()},
+            deadline_reports=self.monitor.reports(),
+            total_cycles=machine.time,
+            configuration_cycles=machine.cycle_count,
+            worst_latencies={report.event: report.worst_latency
+                             for report in self.monitor.reports()},
+        )

@@ -1,0 +1,114 @@
+"""Synthetic chart generators for scalability studies.
+
+The paper's PSCP is "scalable with respect to the number of processing
+elements as well as parameters such as bus widths and register file sizes";
+these generators produce parameterized reactive workloads to sweep those
+knobs beyond the single industrial example:
+
+* :func:`parallel_servers` — an AND-composition of n independent
+  request/serve regions (embarrassingly parallel: more TEPs should help
+  almost linearly up to n);
+* :func:`pipeline_chart` — a chain of n stages passing work along
+  (serial: more TEPs should barely help);
+* :func:`wide_decoder` — one OR-state with n event-triggered transitions
+  (stresses SLA size / CR width, not TEP count).
+
+Each generator returns ``(chart, routines_source)`` ready for
+:func:`repro.flow.build.build_system`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.statechart.builder import ChartBuilder
+from repro.statechart.model import Chart
+
+
+def parallel_servers(n_regions: int, work_iterations: int = 8
+                     ) -> Tuple[Chart, str]:
+    """n parallel regions, each serving its own request event."""
+    if n_regions < 2:
+        raise ValueError("need at least 2 regions for an AND composition")
+    b = ChartBuilder(f"servers{n_regions}")
+    b.event("START")
+    for index in range(n_regions):
+        b.event(f"REQ{index}", period=2000)
+    with b.or_state("Top", default="Boot"):
+        b.basic("Boot").transition("Serving", label="START")
+        with b.and_state("Serving"):
+            for index in range(n_regions):
+                with b.or_state(f"R{index}", default=f"Wait{index}"):
+                    b.basic(f"Wait{index}").transition(
+                        f"Wait{index}",
+                        label=f"REQ{index}/Serve{index}()")
+    chart = b.build()
+
+    routines = ["int:16 served[16];"]
+    for index in range(n_regions):
+        routines.append(f"""
+void Serve{index}() {{
+  int:16 i = 0;
+  int:16 acc = 0;
+  @bound({work_iterations}) while (i < {work_iterations}) {{
+    acc = acc + i;
+    i = i + 1;
+  }}
+  served[{index % 16}] = acc;
+}}
+""")
+    return chart, "\n".join(routines)
+
+
+def pipeline_chart(n_stages: int, work_iterations: int = 6
+                   ) -> Tuple[Chart, str]:
+    """A serial pipeline: stage i hands to stage i+1 via internal events."""
+    if n_stages < 2:
+        raise ValueError("need at least 2 stages")
+    b = ChartBuilder(f"pipeline{n_stages}")
+    b.event("FEED", period=6000)
+    for index in range(1, n_stages):
+        b.event(f"PASS{index}")
+    with b.or_state("Line", default="S0"):
+        for index in range(n_stages):
+            state = b.basic(f"S{index}")
+            trigger = "FEED" if index == 0 else f"PASS{index}"
+            target = f"S{(index + 1) % n_stages}"
+            state.transition(target, label=f"{trigger}/Stage{index}()")
+    chart = b.build()
+
+    routines = ["int:16 token;"]
+    for index in range(n_stages):
+        raise_line = (f"Raise(PASS{index + 1});"
+                      if index + 1 < n_stages else "")
+        routines.append(f"""
+void Stage{index}() {{
+  int:16 i = 0;
+  @bound({work_iterations}) while (i < {work_iterations}) {{
+    token = token + {index + 1};
+    i = i + 1;
+  }}
+  {raise_line}
+}}
+""")
+    return chart, "\n".join(routines)
+
+
+def wide_decoder(n_commands: int) -> Tuple[Chart, str]:
+    """One dispatcher state with n command events (SLA-bound workload)."""
+    if n_commands < 1:
+        raise ValueError("need at least one command")
+    b = ChartBuilder(f"decoder{n_commands}")
+    for index in range(n_commands):
+        b.event(f"CMD{index}", period=4000)
+    with b.or_state("Top", default="Dispatch"):
+        dispatch = b.basic("Dispatch")
+        for index in range(n_commands):
+            dispatch.transition("Dispatch", label=f"CMD{index}/Do{index}()")
+    chart = b.build()
+
+    routines = ["int:16 count;"]
+    for index in range(n_commands):
+        routines.append(
+            f"void Do{index}() {{ count = count + {index + 1}; }}")
+    return chart, "\n".join(routines)

@@ -1,0 +1,366 @@
+"""The SMD pickup-head controller (section 5, Figs. 5/6, Tables 2-4).
+
+The controller of a pickup head placing SMD components on a PCB: four
+stepper motors (X, Y at 50 kHz; Z, φ at 9 kHz), commands arriving from a
+central controller every 1500 reference-clock cycles, X/Y counter updates
+due every 300 cycles (Table 2).
+
+The chart combines the top-level chart of Fig. 6 with the motor-control
+chart of Fig. 5 inlined at ``ReachPosition`` (where the paper's ``@MoveX``/
+``@MoveY``/``@MOVE_PHI`` references point):
+
+* ``Assembly`` (OR): ``Off`` → ``Idle1`` → ``Operation`` (AND) / ``Errstate``
+* ``Operation`` = ``DataPreparation`` ∥ ``ReachPosition``
+* ``DataPreparation`` (OR): ``OpcodeReady``, ``EmptyBuf``, ``Bounds``,
+  ``NoData`` — the command decode/parameter pipeline
+* ``ReachPosition`` (OR): ``Idle2``, the three-way parallel ``Moving``
+  composite of Fig. 5 (``MoveX`` ∥ ``MoveY`` ∥ ``MovePhi``), each region a
+  ``Start → Run → End`` cycle driven by the motor counters.
+
+The action routines are *reconstructions*: the paper's Siemens sources are
+not available, so each routine implements the operation its name implies
+(command byte handling, trapezoid parameter computation, counter reload with
+the 16-bit multiply/divide that motivates the M/D calculation unit), sized
+so that the reference architecture's static transition costs land on the
+paper's Table 3 event-cycle lengths.  The calibration targets live in
+:data:`TABLE3_PAPER` / :data:`TABLE2_PAPER`; EXPERIMENTS.md records the
+measured-vs-paper deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.statechart.builder import ChartBuilder
+from repro.statechart.model import Chart, PortKind, PortDirection
+
+# ---------------------------------------------------------------------------
+# Table 2: the timing constraints (cycles of the 15 MHz reference clock)
+# ---------------------------------------------------------------------------
+
+TABLE2_PAPER: Dict[str, int] = {
+    "DATA_VALID": 1500,
+    "X_PULSE": 300,
+    "Y_PULSE": 300,
+    "PHI_PULSE": 1600,
+}
+
+#: Table 3 as printed in the paper: cycle states -> length.
+TABLE3_PAPER: List[Tuple[Tuple[str, ...], int]] = [
+    (("Idle1", "ReachPosition", "Idle1"), 235),
+    (("OpcodeReady", "OpcodeReady"), 747),
+    (("Idle1", "OpcodeReady"), 105),
+    (("OpcodeReady", "EmptyBuf", "Idle1"), 772),
+    (("OpcodeReady", "EmptyBuf", "Bounds", "Idle1"), 1414),
+    (("OpcodeReady", "EmptyBuf", "Bounds", "NoData"), 2041),
+    (("NoData", "OpcodeReady"), 747),
+    (("NoData", "Idle1"), 130),
+    (("NoData", "Errstate", "Idle1"), 180),
+    (("RunX", "RunX"), 878),
+    (("RunY", "RunY"), 878),
+    (("RunPhi", "RunPhi"), 878),
+]
+
+#: Table 4 as printed in the paper:
+#: architecture -> (area CLBs, X/Y critical path, DATA_VALID critical path)
+TABLE4_PAPER: Dict[str, Tuple[int, int, int]] = {
+    "1 minimal TEP": (224, 1000, 3000),          # paper prints "> 1000/3000"
+    "16bit M/D TEP, unoptimized code": (421, 878, 2041),
+    "16bit M/D TEP, optimized code": (421, 524, 1317),
+    "2 16bit M/D TEP, unoptimized code": (773, 469, 1081),
+    "2 16bit M/D TEP, optimized code": (773, 282, 699),
+}
+
+#: routine pairs the designer declares mutually exclusive before adding the
+#: second TEP (they share the command buffer / parameter store)
+SMD_MUTUAL_EXCLUSIONS: FrozenSet[FrozenSet[str]] = frozenset({
+    frozenset({"GetByte", "DecodeOpcode"}),
+    frozenset({"GetByte", "LoadNext"}),
+    frozenset({"DecodeOpcode", "LoadNext"}),
+    frozenset({"PrepareMove", "StartMove"}),
+})
+
+
+def smd_chart() -> Chart:
+    """Build the combined Fig. 5 + Fig. 6 statechart."""
+    b = ChartBuilder("smd_pickup_head")
+
+    # events (Table 2 periods on the constrained ones)
+    b.event("POWER")
+    b.event("INIT")
+    b.event("ALLRESET")
+    b.event("ERROR")
+    b.event("DATA_VALID", period=TABLE2_PAPER["DATA_VALID"], port="PE_DATA")
+    b.event("END_DATA")
+    b.event("BUF_EMPTY")
+    b.event("X_PULSE", period=TABLE2_PAPER["X_PULSE"], port="PE_XPULSE")
+    b.event("Y_PULSE", period=TABLE2_PAPER["Y_PULSE"], port="PE_YPULSE")
+    b.event("PHI_PULSE", period=TABLE2_PAPER["PHI_PULSE"], port="PE_PHIPULSE")
+    b.event("X_STEPS")
+    b.event("Y_STEPS")
+    b.event("PHI_STEPS")
+    b.event("END_MOVE")
+    b.event("GRAB_RELEASE")
+
+    # conditions
+    b.condition("MOVEMENT")
+    b.condition("XFINISH")
+    b.condition("YFINISH")
+    b.condition("PHIFINISH")
+
+    # external ports (addresses echo the 0700-range of Fig. 2b)
+    b.port("PE_DATA", PortKind.EVENT, width=1, address=0o700,
+           direction=PortDirection.INPUT)
+    b.port("PE_XPULSE", PortKind.EVENT, width=1, address=0o701,
+           direction=PortDirection.INPUT)
+    b.port("PE_YPULSE", PortKind.EVENT, width=1, address=0o702,
+           direction=PortDirection.INPUT)
+    b.port("PE_PHIPULSE", PortKind.EVENT, width=1, address=0o703,
+           direction=PortDirection.INPUT)
+    b.port("CE0", PortKind.CONDITION, width=1, address=0o712,
+           direction=PortDirection.BIDIRECTIONAL)
+    b.port("Buffer", PortKind.DATA, width=8, address=0o717,
+           direction=PortDirection.BIDIRECTIONAL)
+    b.port("Status", PortKind.DATA, width=8, address=0o720,
+           direction=PortDirection.OUTPUT)
+    b.port("XMotor", PortKind.DATA, width=8, address=0o721,
+           direction=PortDirection.OUTPUT)
+    b.port("YMotor", PortKind.DATA, width=8, address=0o722,
+           direction=PortDirection.OUTPUT)
+    b.port("PhiMotor", PortKind.DATA, width=8, address=0o723,
+           direction=PortDirection.OUTPUT)
+
+    with b.or_state("Assembly", default="Off"):
+        b.basic("Off").transition("Idle1", label="POWER")
+        b.basic("Idle1").transition("Operation", label="[DATA_VALID]/GetByte()")
+        with b.and_state("Operation") as operation:
+            with b.or_state("DataPreparation", default="OpcodeReady"):
+                opcode_ready = b.basic("OpcodeReady")
+                opcode_ready.transition(
+                    "OpcodeReady", label="[DATA_VALID]/DecodeOpcode()")
+                opcode_ready.transition(
+                    "EmptyBuf", label="END_DATA/PrepareMove()")
+                empty_buf = b.basic("EmptyBuf")
+                empty_buf.transition("Idle1", label="BUF_EMPTY/RequestData()")
+                empty_buf.transition(
+                    "Bounds",
+                    label="not (X_PULSE or Y_PULSE)/PhiParameters()")
+                bounds = b.basic("Bounds")
+                bounds.transition(
+                    "Idle1",
+                    label="not (X_PULSE or Y_PULSE) [not MOVEMENT]"
+                          "/AbortMove()")
+                bounds.transition(
+                    "NoData",
+                    label="not (X_PULSE or Y_PULSE) [MOVEMENT]/StartMove()")
+                b.basic("NoData").transition(
+                    "OpcodeReady", label="[DATA_VALID]/LoadNext()")
+            with b.or_state("ReachPosition", default="Idle2"):
+                b.basic("Idle2").transition("Moving", label="[MOVEMENT]")
+                with b.and_state("Moving") as moving:
+                    with b.or_state("MoveX", default="XStart2"):
+                        b.basic("XStart2").transition(
+                            "RunX", label="/StartMotor(MX, XPARAMS)")
+                        run_x = b.basic("RunX")
+                        run_x.transition("RunX", label="X_PULSE/DeltaT(MX)")
+                        run_x.transition(
+                            "XEnd2", label="X_STEPS/SetTrue(XFINISH)")
+                        b.basic("XEnd2")
+                    with b.or_state("MoveY", default="YStart2"):
+                        b.basic("YStart2").transition(
+                            "RunY", label="/StartMotor(MY, YPARAMS)")
+                        run_y = b.basic("RunY")
+                        run_y.transition("RunY", label="Y_PULSE/DeltaT(MY)")
+                        run_y.transition(
+                            "YEnd2", label="Y_STEPS/SetTrue(YFINISH)")
+                        b.basic("YEnd2")
+                    with b.or_state("MovePhi", default="PhiStart"):
+                        b.basic("PhiStart").transition(
+                            "RunPhi", label="/StartMotor(MPHI, PHIPARAMS)")
+                        run_phi = b.basic("RunPhi")
+                        run_phi.transition(
+                            "RunPhi", label="PHI_PULSE/DeltaT(MPHI)")
+                        run_phi.transition(
+                            "PhiEnd", label="PHI_STEPS/SetTrue(PHIFINISH)")
+                        b.basic("PhiEnd")
+                moving.transition(
+                    "Idle2",
+                    label="END_MOVE [XFINISH and YFINISH and PHIFINISH]"
+                          "/FinishMove()")
+        operation.transition(
+            "Idle1", label="INIT or ALLRESET/InitializeAll()")
+        operation.transition("Errstate", label="ERROR/Stop()")
+        b.basic("Errstate").transition(
+            "Idle1", label="INIT or ALLRESET/InitializeAll()")
+    return b.build()
+
+
+#: The reconstructed transition routines in the intermediate C dialect.
+#: Loop bounds are the calibration knobs: they size each routine's WCET so
+#: the Table 3 event-cycle lengths match the paper on the reference
+#: architecture (16-bit M/D TEP, unoptimized code, one TEP).
+SMD_ROUTINES = """
+enum Motor {MX, MY, MPHI};
+enum ParamSet {XPARAMS, YPARAMS, PHIPARAMS};
+
+int:16 cmd_buffer[8];
+int:16 buf_len;
+int:16 opcode;
+int:16 checksum;
+
+int:16 target[3];
+int:16 vmax[3];
+int:16 accel[3];
+int:16 velocity[3];
+int:16 remaining[3];
+int:16 reload[3];
+
+int:16 NewPhi;
+int:16 OldPhi;
+int:16 PhiParam;
+
+void GetByte() {
+  cmd_buffer[buf_len & 7] = Buffer;
+  buf_len = buf_len + 1;
+  checksum = checksum + 1;
+}
+
+void DecodeOpcode() {
+  opcode = cmd_buffer[0] & 63;
+  checksum = cmd_buffer[0] + cmd_buffer[1];
+  checksum = checksum + cmd_buffer[2];
+  checksum = checksum + cmd_buffer[3];
+  checksum = (checksum + cmd_buffer[4]) & 255;
+  buf_len = buf_len & 7;
+  opcode = opcode + 1;
+}
+
+void PrepareMove() {
+  target[MX] = cmd_buffer[1];
+  buf_len = 0;
+  SetTrue(MOVEMENT);
+}
+
+void RequestData() {
+  cmd_buffer[0] = 0;
+  cmd_buffer[1] = 0;
+  cmd_buffer[2] = 0;
+  cmd_buffer[3] = 0;
+  cmd_buffer[4] = 0;
+  cmd_buffer[5] = 0;
+  buf_len = 0;
+  checksum = 0;
+  opcode = 0;
+  PhiParam = 0;
+  OldPhi = 0;
+  NewPhi = 0;
+  target[MX] = 0;
+  target[MY] = 0;
+  SetFalse(MOVEMENT);
+  Status = 1;
+}
+
+void PhiParameters() {
+  PhiParam = NewPhi - OldPhi;
+}
+
+void AbortMove() {
+  velocity[MX] = 0;
+  velocity[MY] = 0;
+  velocity[MPHI] = 0;
+  remaining[MX] = 0;
+  remaining[MY] = 0;
+  remaining[MPHI] = 0;
+  reload[MX] = 0;
+  reload[MY] = 0;
+  reload[MPHI] = 0;
+  target[MX] = 0;
+  target[MY] = 0;
+  target[MPHI] = 0;
+  XMotor = 0;
+  YMotor = 0;
+  PhiMotor = 0;
+  buf_len = 0;
+  checksum = 0;
+  opcode = 0;
+  PhiParam = 0;
+  OldPhi = 0;
+  NewPhi = 0;
+  SetFalse(MOVEMENT);
+  Status = 2;
+}
+
+void StartMove() {
+  int:16 ramp;
+  ramp = (vmax[MX] * vmax[MX]) / (accel[MX] + 1);
+  if (ramp > target[MX]) { vmax[MX] = ramp - target[MX]; }
+  ramp = (vmax[MY] * vmax[MY]) / (accel[MY] + 1);
+  if (ramp > target[MY]) { vmax[MY] = ramp - target[MY]; }
+  remaining[MX] = target[MX];
+  remaining[MY] = target[MY];
+  remaining[MPHI] = target[MPHI];
+  velocity[MX] = accel[MX];
+  velocity[MY] = accel[MY];
+  velocity[MPHI] = accel[MPHI];
+  OldPhi = NewPhi;
+  SetFalse(XFINISH);
+  SetTrue(MOVEMENT);
+}
+
+void LoadNext() {
+  cmd_buffer[0] = cmd_buffer[1];
+  cmd_buffer[1] = cmd_buffer[2];
+  cmd_buffer[2] = cmd_buffer[3];
+  cmd_buffer[3] = cmd_buffer[4];
+  cmd_buffer[4] = cmd_buffer[5];
+  cmd_buffer[5] = cmd_buffer[6];
+  cmd_buffer[6] = cmd_buffer[7];
+  cmd_buffer[7] = 0;
+  opcode = cmd_buffer[0] & 63;
+  checksum = checksum + cmd_buffer[1];
+  buf_len = buf_len - 1;
+}
+
+void InitializeAll() {
+  velocity[MX] = 0;
+  velocity[MY] = 0;
+  velocity[MPHI] = 0;
+  remaining[MX] = 0;
+  remaining[MY] = 0;
+  buf_len = 0;
+  checksum = 0;
+  opcode = 0;
+  Status = 0;
+  SetFalse(MOVEMENT);
+  SetFalse(XFINISH);
+  SetFalse(YFINISH);
+  SetFalse(PHIFINISH);
+}
+
+void Stop() {
+  XMotor = 0;
+  YMotor = 0;
+  PhiMotor = 0;
+}
+
+void DeltaT(int:16 m) {
+  int:16 v;
+  v = velocity[m] + accel[m];
+  velocity[m] = v;
+  reload[m] = (15000 / (v + 1)) + 1;
+}
+
+void StartMotor(int:16 m, int:16 p) {
+  velocity[m] = accel[m];
+  reload[m] = 15000 / (accel[m] + 1);
+}
+
+void FinishMove() {
+  SetFalse(MOVEMENT);
+  SetFalse(XFINISH);
+  SetFalse(YFINISH);
+  SetFalse(PHIFINISH);
+  Raise(END_DATA);
+  Status = 4;
+}
+"""

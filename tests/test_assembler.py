@@ -1,0 +1,150 @@
+"""Tests for the two-pass assembler and textual syntax."""
+
+import pytest
+
+from repro.isa import (
+    AsmError,
+    Imm,
+    Instruction,
+    LabelRef,
+    Mem,
+    Op,
+    PortRef,
+    Reg,
+    StorageClass,
+    assemble,
+    emit_text,
+    parse_text,
+)
+
+
+def sample_program():
+    return [
+        Instruction(Op.LDA, Imm(0), label="start"),
+        Instruction(Op.STA, Mem(4)),
+        Instruction(Op.LDA, Mem(4), label="loop"),
+        Instruction(Op.ADD, Imm(1)),
+        Instruction(Op.STA, Mem(4)),
+        Instruction(Op.CMP, Imm(10)),
+        Instruction(Op.JNZ, LabelRef("loop")),
+        Instruction(Op.RET),
+    ]
+
+
+class TestAssembly:
+    def test_labels_resolved_to_word_addresses(self):
+        assembled = assemble(sample_program())
+        assert assembled.labels["start"] == 0
+        # each of these instructions encodes to one word
+        assert assembled.labels["loop"] == 2
+
+    def test_jump_operand_carries_address(self):
+        assembled = assemble(sample_program())
+        jump = assembled.instructions[6]
+        assert isinstance(jump.operand, LabelRef)
+        assert jump.operand.address == assembled.labels["loop"]
+
+    def test_wide_operands_shift_addresses(self):
+        program = [
+            Instruction(Op.LDA, Imm(0x1234), label="a"),  # 2 words
+            Instruction(Op.NOP, label="b"),
+        ]
+        assembled = assemble(program)
+        assert assembled.labels["b"] == 2
+
+    def test_binary_image_produced(self):
+        assembled = assemble(sample_program())
+        assert assembled.size_words == 8
+        assert all(0 <= w <= 0xFFFF for w in assembled.words)
+
+    def test_duplicate_label_rejected(self):
+        program = [Instruction(Op.NOP, label="x"),
+                   Instruction(Op.NOP, label="x")]
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble(program)
+
+    def test_undefined_label_rejected(self):
+        program = [Instruction(Op.JMP, LabelRef("ghost"))]
+        with pytest.raises(AsmError, match="undefined"):
+            assemble(program)
+
+    def test_fused_branch_target_resolved(self):
+        arch_prog = [
+            Instruction(Op.CBEQ, Imm(1), LabelRef("out"), label="top"),
+            Instruction(Op.NOP),
+            Instruction(Op.RET, label="out"),
+        ]
+        assembled = assemble(arch_prog)
+        assert assembled.instructions[0].target.address == assembled.labels["out"]
+
+
+class TestTextRoundTrip:
+    def test_emit_parse_roundtrip(self):
+        program = sample_program()
+        text = emit_text(program)
+        parsed = parse_text(text)
+        assert len(parsed) == len(program)
+        for original, again in zip(program, parsed):
+            assert again.op is original.op
+            assert again.operand == original.operand
+            assert again.label == original.label
+
+    def test_text_contains_labels_and_mnemonics(self):
+        text = emit_text(sample_program())
+        assert "loop:" in text
+        assert "JNZ" in text and "int[4]" in text
+
+    def test_parse_all_operand_kinds(self):
+        text = """
+        entry:  LDA  #7
+                LDO  R2
+                STA  ext[300]
+                INP  port[1792]
+                EVSET sig[3]
+                CBNE #1, entry
+                TRET
+        """
+        parsed = parse_text(text)
+        assert parsed[0].operand == Imm(7)
+        assert parsed[1].operand == Reg(2)
+        assert parsed[2].operand == Mem(300, StorageClass.EXTERNAL)
+        assert parsed[3].operand == PortRef(1792)
+        assert parsed[4].operand.index == 3
+        assert parsed[5].target == LabelRef("entry")
+
+    def test_label_on_own_line(self):
+        parsed = parse_text("alone:\n  NOP\n")
+        assert parsed[0].label == "alone"
+        assert parsed[0].op is Op.NOP
+
+    def test_comments_preserved_semantics(self):
+        parsed = parse_text("  LDA #1 ; the answer\n")
+        assert parsed[0].comment == "the answer"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            parse_text("  FROB #1\n")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(AsmError, match="bad operand"):
+            parse_text("  LDA ##\n")
+
+    def test_dangling_label_rejected(self):
+        with pytest.raises(AsmError, match="dangling"):
+            parse_text("dead:\n")
+
+    def test_assembled_roundtrip_executes_identically(self):
+        """Assemble, print, re-parse, re-assemble: same binary image."""
+        first = assemble(sample_program())
+        text = emit_text(sample_program())
+        second = assemble(parse_text(text))
+        assert first.words == second.words
+
+
+class TestDisassembler:
+    def test_disassemble_lists_opcodes(self):
+        from repro.isa.assembler import disassemble_words
+        assembled = assemble(sample_program())
+        lines = disassemble_words(assembled.words)
+        assert any("LDA" in line for line in lines)
+        assert any("JNZ" in line for line in lines)

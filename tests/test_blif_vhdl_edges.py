@@ -1,0 +1,81 @@
+"""Edge cases for the BLIF parser and the VHDL emitters."""
+
+import pytest
+
+from repro.hw import emit_decoder_rom_vhdl, emit_sla_vhdl
+from repro.isa import DecoderRom, MINIMAL_TEP
+from repro.sla.blif import BlifError, BlifModel, parse_blif
+
+
+class TestBlifParserEdges:
+    def test_continuation_lines(self):
+        text = (".model m\n"
+                ".inputs a \\\n"
+                "b\n"
+                ".outputs o\n"
+                ".names a b o\n"
+                "11 1\n"
+                ".end\n")
+        model = parse_blif(text)
+        assert model.inputs == ["a", "b"]
+        assert model.evaluate({"a": True, "b": True})["o"] is True
+
+    def test_comments_stripped(self):
+        text = (".model m # the model\n"
+                ".inputs a\n"
+                ".outputs o\n"
+                ".names a o  # cover\n"
+                "1 1\n"
+                ".end\n")
+        model = parse_blif(text)
+        assert model.evaluate({"a": True})["o"] is True
+
+    def test_dont_care_columns(self):
+        text = (".model m\n.inputs a b c\n.outputs o\n"
+                ".names a b c o\n1-0 1\n.end\n")
+        model = parse_blif(text)
+        assert model.evaluate({"a": True, "b": False, "c": False})["o"]
+        assert model.evaluate({"a": True, "b": True, "c": False})["o"]
+        assert not model.evaluate({"a": True, "b": True, "c": True})["o"]
+
+    def test_constant_zero_output(self):
+        text = ".model m\n.inputs a\n.outputs o\n.names o\n.end\n"
+        model = parse_blif(text)
+        assert model.evaluate({"a": True})["o"] is False
+
+    def test_cover_width_mismatch_rejected(self):
+        text = ".model m\n.inputs a b\n.outputs o\n.names a b o\n111 1\n.end\n"
+        with pytest.raises(BlifError, match="width"):
+            parse_blif(text)
+
+    def test_row_outside_names_rejected(self):
+        with pytest.raises(BlifError, match="outside"):
+            parse_blif(".model m\n.inputs a\n.outputs o\n1 1\n.end\n")
+
+    def test_unsupported_construct_rejected(self):
+        with pytest.raises(BlifError, match="unsupported"):
+            parse_blif(".model m\n.latch a b\n.end\n")
+
+    def test_names_without_signals_rejected(self):
+        with pytest.raises(BlifError, match="without"):
+            parse_blif(".model m\n.names\n.end\n")
+
+
+class TestVhdlEdges:
+    def test_empty_decoder_rom_emits_placeholder(self):
+        rom = DecoderRom(MINIMAL_TEP)
+        text = emit_decoder_rom_vhdl(rom)
+        assert 'x"0000"' in text
+
+    def test_sla_output_without_terms_is_constant_zero(self):
+        text = emit_sla_vhdl("sla", ["a"], ["t0"], {"t0": []})
+        assert "t0 <= '0';" in text
+
+    def test_term_without_literals_renders_true(self):
+        text = emit_sla_vhdl("sla", ["a"], ["t0"], {"t0": [([], [])]})
+        assert "when true" in text
+
+    def test_vhdl_entity_ports_separated(self):
+        text = emit_sla_vhdl("sla", ["a", "b"], ["t0"], {"t0": []})
+        assert "a : in std_logic" in text
+        assert "t0 : out std_logic" in text

@@ -1,0 +1,53 @@
+"""Tests for the non-fatal chart design-smell warnings."""
+
+from repro.statechart import ChartBuilder, chart_warnings
+from repro.workloads import smd_chart
+
+
+class TestChartWarnings:
+    def test_clean_chart_quiet(self):
+        b = ChartBuilder("clean")
+        b.event("E")
+        with b.or_state("T", default="A"):
+            b.basic("A").transition("B", label="E")
+            b.basic("B").transition("A", label="E")
+        assert chart_warnings(b.build()) == []
+
+    def test_unreachable_state_flagged(self):
+        b = ChartBuilder("dead")
+        b.event("E")
+        with b.or_state("T", default="A"):
+            b.basic("A").transition("A", label="E")
+            b.basic("Orphan")
+        warnings = chart_warnings(b.build())
+        assert any("Orphan" in w and "unreachable" in w for w in warnings)
+
+    def test_unused_event_flagged(self):
+        b = ChartBuilder("unused")
+        b.event("E").event("NEVER")
+        with b.or_state("T", default="A"):
+            b.basic("A").transition("A", label="E")
+        warnings = chart_warnings(b.build())
+        assert any("NEVER" in w for w in warnings)
+
+    def test_unused_condition_flagged(self):
+        b = ChartBuilder("unusedc")
+        b.event("E").condition("LONELY")
+        with b.or_state("T", default="A"):
+            b.basic("A").transition("A", label="E")
+        warnings = chart_warnings(b.build())
+        assert any("LONELY" in w for w in warnings)
+
+    def test_negated_use_counts_as_use(self):
+        b = ChartBuilder("neg")
+        b.event("E").event("P")
+        with b.or_state("T", default="A"):
+            b.basic("A").transition("A", label="E and not P")
+        warnings = chart_warnings(b.build())
+        assert not any("'P'" in w for w in warnings)
+
+    def test_smd_chart_warns_only_about_grab_release(self):
+        """The omitted @GRAB_RELEASE subchart is the single known smell
+        (EXPERIMENTS.md deviation #2)."""
+        warnings = chart_warnings(smd_chart())
+        assert warnings == ["event 'GRAB_RELEASE' triggers no transition"]

@@ -1,0 +1,112 @@
+"""Differential tests for mixed-width and wide (32-bit) arithmetic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import MD16_TEP, MINIMAL_TEP
+from tests.test_codegen_exec import run_function
+
+
+def as_signed(value, bits):
+    mask = (1 << bits) - 1
+    value &= mask
+    return value - (1 << bits) if value & (1 << (bits - 1)) else value
+
+
+class TestMixedWidths:
+    def test_narrow_signed_widens_correctly(self):
+        src = """
+        int:16 f(int:8 a, int:16 b) {
+          int:16 t;
+          t = a;
+          return t + b;
+        }
+        """
+        for arch in (MINIMAL_TEP, MD16_TEP):
+            result, *_ = run_function(src, "f", (-5, 100), arch)
+            assert result == 95, arch.name
+
+    def test_narrow_signed_comparison(self):
+        src = """
+        int:16 f(int:8 a, int:16 b) {
+          if (a < b) { return 1; }
+          return 0;
+        }
+        """
+        for arch in (MINIMAL_TEP, MD16_TEP):
+            assert run_function(src, "f", (-3, 2), arch)[0] == 1, arch.name
+            assert run_function(src, "f", (3, 2), arch)[0] == 0, arch.name
+
+    def test_unsigned_narrow_zero_extends(self):
+        src = """
+        int:16 f(uint:8 a) {
+          int:16 t;
+          t = a;
+          return t;
+        }
+        """
+        for arch in (MINIMAL_TEP, MD16_TEP):
+            result, *_ = run_function(src, "f", (200,), arch)
+            assert result == 200, arch.name
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(-128, 127), st.integers(-1000, 1000))
+    def test_mixed_width_add_differential(self, a, b):
+        src = """
+        int:16 f(int:8 a, int:16 b) {
+          int:16 t;
+          t = a;
+          return t + b;
+        }
+        """
+        result, *_ = run_function(src, "f", (a, b), MINIMAL_TEP)
+        assert result == as_signed(a + b, 16)
+
+
+class TestThirtyTwoBit:
+    def test_wide_constant_roundtrip(self):
+        src = """
+        int:32 big = 100000;
+        int:32 f() { return big + 23456; }
+        """
+        for arch in (MINIMAL_TEP, MD16_TEP):
+            result, *_ = run_function(src, "f", (), arch)
+            assert result == 123456, arch.name
+
+    def test_wide_subtract_borrows_across_words(self):
+        src = "int:32 f(int:32 a, int:32 b) { return a - b; }"
+        for arch in (MINIMAL_TEP, MD16_TEP):
+            result, *_ = run_function(src, "f", (0x10000, 1), arch)
+            assert result == 0xFFFF, arch.name
+
+    def test_wide_shift(self):
+        src = "int:32 f(int:32 a) { return a << 4; }"
+        result, *_ = run_function(src, "f", (0x1234,), MD16_TEP)
+        assert result == 0x12340
+
+    def test_wide_comparison(self):
+        src = """
+        int:16 f(int:32 a, int:32 b) {
+          if (a < b) { return 1; }
+          return 0;
+        }
+        """
+        assert run_function(src, "f", (100000, 100001), MD16_TEP)[0] == 1
+        assert run_function(src, "f", (100001, 100000), MD16_TEP)[0] == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_wide_add_differential(self, a, b):
+        src = "int:32 f(int:32 a, int:32 b) { return a + b; }"
+        result, *_ = run_function(src, "f", (a, b), MD16_TEP)
+        assert result == as_signed(a + b, 32)
+
+    def test_time_constraint_width_of_fig2b(self):
+        """Fig. 2b's EventCondition carries an int:32 TimeConstraint; a
+        routine manipulating it must compile and run."""
+        src = """
+        int:32 time_constraint = 400;
+        int:32 f(int:16 scale) { return time_constraint * scale; }
+        """
+        result, *_ = run_function(src, "f", (1000,), MD16_TEP)
+        assert result == 400000

@@ -1,0 +1,138 @@
+"""Unit tests for the WCET cost trees and the table/figure renderers."""
+
+import pytest
+
+from repro.flow.report import (
+    architecture_figure,
+    ascii_table,
+    comparison_table,
+    table1_report,
+    table4_report,
+)
+from repro.isa import (
+    Block,
+    Branch,
+    CallCost,
+    FixedCost,
+    Imm,
+    Instruction,
+    Loop,
+    MD16_TEP,
+    MINIMAL_TEP,
+    Mem,
+    Op,
+    Seq,
+    cycle_cost,
+    routine_wcets,
+)
+
+
+def block(*instructions):
+    return Block(list(instructions))
+
+
+LDA = Instruction(Op.LDA, Imm(1))
+ADD = Instruction(Op.ADD, Mem(0))
+JMP_COST = Instruction(Op.JMP)
+
+
+class TestCostNodes:
+    def test_block_sums_instruction_costs(self):
+        node = block(LDA, ADD)
+        expected = cycle_cost(LDA, MINIMAL_TEP) + cycle_cost(ADD, MINIMAL_TEP)
+        assert node.wcet(MINIMAL_TEP, {}) == expected
+
+    def test_seq_sums_parts(self):
+        node = Seq([block(LDA), block(ADD)])
+        assert node.wcet(MINIMAL_TEP, {}) == block(LDA, ADD).wcet(MINIMAL_TEP, {})
+
+    def test_branch_takes_max_arm(self):
+        node = Branch(block(LDA), block(ADD, ADD), block(ADD))
+        expected = (cycle_cost(LDA, MINIMAL_TEP)
+                    + 2 * cycle_cost(ADD, MINIMAL_TEP))
+        assert node.wcet(MINIMAL_TEP, {}) == expected
+
+    def test_loop_counts_test_bound_plus_one(self):
+        node = Loop(block(LDA), block(ADD), bound=5)
+        expected = (6 * cycle_cost(LDA, MINIMAL_TEP)
+                    + 5 * cycle_cost(ADD, MINIMAL_TEP))
+        assert node.wcet(MINIMAL_TEP, {}) == expected
+
+    def test_zero_bound_loop_still_tests_once(self):
+        node = Loop(block(LDA), block(ADD), bound=0)
+        assert node.wcet(MINIMAL_TEP, {}) == cycle_cost(LDA, MINIMAL_TEP)
+
+    def test_call_resolves_from_table(self):
+        node = Seq([block(LDA), CallCost("helper")])
+        total = node.wcet(MINIMAL_TEP, {"helper": 123})
+        assert total == cycle_cost(LDA, MINIMAL_TEP) + 123
+
+    def test_call_without_entry_raises(self):
+        with pytest.raises(KeyError, match="callees-first"):
+            CallCost("ghost").wcet(MINIMAL_TEP, {})
+
+    def test_fixed_cost(self):
+        assert FixedCost(77).wcet(MD16_TEP, {}) == 77
+
+    def test_costs_depend_on_architecture(self):
+        node = block(LDA, ADD, ADD)
+        unopt = node.wcet(MINIMAL_TEP, {})
+        opt = node.wcet(MINIMAL_TEP.with_(microcode_optimized=True), {})
+        assert opt == unopt - 3  # one redundant jump per instruction
+
+    def test_routine_wcets_callees_first(self):
+        trees = {
+            "leaf": block(LDA),
+            "top": Seq([block(ADD), CallCost("leaf")]),
+        }
+        result = routine_wcets(trees, ["leaf", "top"], MINIMAL_TEP)
+        assert result["top"] == result["leaf"] + cycle_cost(ADD, MINIMAL_TEP)
+
+    def test_routine_wcets_override(self):
+        trees = {"f": block(LDA, ADD)}
+        result = routine_wcets(trees, ["f"], MINIMAL_TEP, overrides={"f": 9})
+        assert result["f"] == 9
+
+
+class TestRenderers:
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["A", "Bee"], [(1, "xx"), (12345, "y")],
+                           title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_ascii_table_handles_empty_rows(self):
+        text = ascii_table(["A"], [])
+        assert "| A |" in text
+
+    def test_table1_report_contains_all_groups(self):
+        text = table1_report()
+        for group in ("arithmetic", "logical", "shift", "single signals",
+                      "address bus", "jump, branch"):
+            assert group in text
+
+    def test_table4_report_columns(self):
+        text = table4_report([("arch-x", 100, 200, 300)])
+        assert "Crit. Path X, Y" in text
+        assert "arch-x" in text and "300" in text
+
+    def test_comparison_table(self):
+        text = comparison_table("t", [("q", 1, 2)],
+                                value_names=("paper", "measured"))
+        assert "paper" in text and "measured" in text
+
+    def test_architecture_figure_lists_teps(self):
+        from repro.flow import build_system
+        from repro.statechart import ChartBuilder
+
+        b = ChartBuilder("tiny")
+        b.event("E")
+        with b.or_state("T", default="S"):
+            b.basic("S").transition("S", label="E/N()")
+        system = build_system(b.build(), "void N() { }",
+                              MD16_TEP.with_(n_teps=2))
+        text = architecture_figure(system)
+        assert "TEP 0:" in text and "TEP 1:" in text
+        assert "total:" in text

@@ -1,0 +1,80 @@
+"""Property: the WCET tree accounts for every emitted instruction exactly
+once, across randomly generated programs and architectures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import CodeGenerator, MD16_TEP, MINIMAL_TEP, prepare_program
+from repro.isa.cost import iter_blocks, verify_cost_tree
+
+
+@st.composite
+def random_programs(draw):
+    """Small random programs exercising every statement form."""
+    n_globals = draw(st.integers(1, 3))
+    globals_decl = "\n".join(f"int:16 g{i};" for i in range(n_globals))
+    body_parts = []
+    n_stmts = draw(st.integers(1, 5))
+    for index in range(n_stmts):
+        kind = draw(st.integers(0, 4))
+        g = f"g{draw(st.integers(0, n_globals - 1))}"
+        if kind == 0:
+            body_parts.append(f"{g} = {g} + {draw(st.integers(0, 50))};")
+        elif kind == 1:
+            body_parts.append(
+                f"if ({g} > {draw(st.integers(0, 20))}) "
+                f"{{ {g} = 0; }} else {{ {g} = 1; }}")
+        elif kind == 2:
+            bound = draw(st.integers(1, 6))
+            body_parts.append(
+                f"@bound({bound}) while ({g} > 0) {{ {g} = {g} - 1; }}")
+        elif kind == 3:
+            body_parts.append(f"{g} = helper({g});")
+        else:
+            body_parts.append(f"{g} = {g} * {draw(st.integers(1, 5))};")
+    return f"""
+    {globals_decl}
+    int:16 helper(int:16 x) {{ return x + 1; }}
+    void main_routine() {{
+      {' '.join(body_parts)}
+    }}
+    """
+
+
+class TestCostTreeInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(random_programs(),
+           st.sampled_from(["minimal", "md16", "md16opt"]))
+    def test_every_instruction_counted_once(self, source, arch_name):
+        arch = {"minimal": MINIMAL_TEP, "md16": MD16_TEP,
+                "md16opt": MD16_TEP.with_(microcode_optimized=True)}[arch_name]
+        checked = prepare_program(source, arch)
+        compiled = CodeGenerator(checked, arch).compile()
+        for name, obj in compiled.objects.items():
+            problems = verify_cost_tree(obj.instructions, obj.cost)
+            assert problems == [], (name, problems[:3])
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_programs())
+    def test_wcet_positive_and_monotone_in_waitstates(self, source):
+        fast = MD16_TEP.with_(external_ram_wait_states=0)
+        slow = MD16_TEP.with_(external_ram_wait_states=6)
+        fast_w = CodeGenerator(prepare_program(source, fast), fast)\
+            .compile().wcets()["main_routine"]
+        slow_w = CodeGenerator(prepare_program(source, slow), slow)\
+            .compile().wcets()["main_routine"]
+        assert 0 < fast_w <= slow_w
+
+    def test_iter_blocks_covers_nested_structures(self):
+        source = """
+        int:16 g;
+        void f() {
+          if (g > 0) {
+            @bound(3) while (g > 0) { g = g - 1; }
+          } else { g = 5; }
+        }
+        """
+        checked = prepare_program(source, MD16_TEP)
+        compiled = CodeGenerator(checked, MD16_TEP).compile()
+        blocks = list(iter_blocks(compiled.objects["f"].cost))
+        assert len(blocks) >= 4  # test, loop-test, loop-body, else, epilogue

@@ -1,0 +1,154 @@
+"""Tests for the elevator-bank case study (second workload)."""
+
+import pytest
+
+from repro.flow import Improver, build_system
+from repro.isa import MD16_TEP
+from repro.workloads.elevator import (
+    ELEVATOR_CONSTRAINTS,
+    ELEVATOR_MUTUAL_EXCLUSIONS,
+    ELEVATOR_ROUTINES,
+    elevator_chart,
+)
+
+
+@pytest.fixture(scope="module")
+def chart():
+    return elevator_chart()
+
+
+@pytest.fixture(scope="module")
+def baseline(chart):
+    return build_system(chart, ELEVATOR_ROUTINES, MD16_TEP)
+
+
+class TestStructure:
+    def test_two_cabs_and_dispatcher_in_parallel(self, chart):
+        assert set(chart.states["Running"].children) == \
+            {"Dispatcher", "Cab0", "Cab1"}
+
+    def test_constraints_declared(self, chart):
+        declared = {e.name: e.period for e in chart.constrained_events()}
+        assert declared == ELEVATOR_CONSTRAINTS
+
+    def test_only_expected_warnings(self, chart):
+        # BUSY0/1 are tested inside routines (Test(...)), not in labels, so
+        # the label-level warning fires; everything else is clean
+        from repro.statechart import chart_warnings
+        assert chart_warnings(chart) == [
+            "condition 'BUSY0' guards no transition",
+            "condition 'BUSY1' guards no transition",
+        ]
+
+
+class TestStaticAnalysis:
+    def test_baseline_violates_door_deadline(self, baseline):
+        violated = {v.cycle.event for v in baseline.violations()}
+        assert "DOOR_BLOCKED0" in violated
+        assert "DOOR_BLOCKED1" in violated
+
+    def test_hall_call_met_even_on_baseline(self, baseline):
+        assert baseline.critical_paths()["HALL_CALL"] <= \
+            ELEVATOR_CONSTRAINTS["HALL_CALL"]
+
+    def test_cab_symmetry(self, baseline):
+        paths = baseline.critical_paths()
+        assert paths["DOOR_BLOCKED0"] == paths["DOOR_BLOCKED1"]
+        assert paths["FLOOR_SENSOR0"] == paths["FLOOR_SENSOR1"]
+
+    def test_improver_finds_a_solution(self, chart):
+        improver = Improver(chart, ELEVATOR_ROUTINES,
+                            initial_arch=MD16_TEP,
+                            mutual_exclusions=ELEVATOR_MUTUAL_EXCLUSIONS,
+                            max_teps=3)
+        result = improver.run()
+        assert result.success, result.trajectory_table()
+        # parallel cabs: extra TEPs are what closes the door deadline
+        assert result.steps[-1].arch.n_teps >= 2
+
+
+class TestExecution:
+    def run_full_trip(self, system, floor=3):
+        machine = system.make_machine()
+        machine.ports.map_latch(
+            system.compiled.maps.ports["CallFloor"], floor)
+        machine.step({"POWER_ON"})
+        machine.step({"HALL_CALL"})     # dispatcher queues, raises DISPATCH0
+        machine.step()                  # cab 0 plans
+        assert machine.in_state("Moving0")
+        for _ in range(floor):
+            machine.step({f"FLOOR_SENSOR0"})
+        machine.step()                  # AT_FLOOR0
+        assert machine.in_state("Opening0")
+        machine.step({"DOOR_TIMER0"})
+        machine.step({"DOOR_TIMER0"})
+        assert machine.in_state("Closing0")
+        return machine
+
+    def test_cab_reaches_called_floor(self, baseline):
+        machine = self.run_full_trip(baseline, floor=3)
+        assert machine.read_global("position0") == 3
+
+    def test_door_obstruction_reopens(self, baseline):
+        machine = self.run_full_trip(baseline)
+        machine.step({"DOOR_BLOCKED0"})
+        assert machine.in_state("Opening0")
+        assert machine.read_global("blocked_count") == 1
+
+    def test_trip_completes_and_frees_cab(self, baseline):
+        machine = self.run_full_trip(baseline)
+        machine.step({"DOORS_SHUT0"})
+        assert machine.in_state("Parked0")
+        assert machine.condition("BUSY0") is False
+
+    def test_second_call_goes_to_other_cab(self, baseline):
+        machine = self.run_full_trip(baseline, floor=2)
+        # cab 0 is busy; a new call must dispatch cab 1
+        machine.step({"HALL_CALL"})
+        machine.step()
+        assert machine.in_state("Moving1")
+
+    def test_downward_travel(self, baseline):
+        machine = self.run_full_trip(baseline, floor=2)
+        machine.step({"DOORS_SHUT0"})
+        # now call floor 0: distance negative, direction down
+        machine.ports.map_latch(
+            baseline.compiled.maps.ports["CallFloor"], 0)
+        machine.step({"HALL_CALL"})
+        machine.step()
+        for _ in range(2):
+            machine.step({"FLOOR_SENSOR1" if machine.in_state("Moving1")
+                          else "FLOOR_SENSOR0"})
+        cab = 1 if machine.in_state("Moving1") or \
+            machine.in_state("Opening1") else 0
+        # whichever cab took it started from 0 -> moved down? cab1 starts at
+        # position 0 and the call floor is 0: distance 0 -> immediate stop
+        assert machine.read_global(f"position{cab}") in (0, -2, 2)
+
+
+class TestDynamicDeadlines:
+    def test_static_bound_holds_for_door_event(self, chart):
+        """On the improved architecture, the DOOR_BLOCKED reaction observed
+        in the machine stays below both the static bound and the deadline."""
+        improver = Improver(chart, ELEVATOR_ROUTINES,
+                            initial_arch=MD16_TEP,
+                            mutual_exclusions=ELEVATOR_MUTUAL_EXCLUSIONS,
+                            max_teps=3)
+        result = improver.run()
+        system = result.final
+        machine = system.make_machine()
+        machine.ports.map_latch(system.compiled.maps.ports["CallFloor"], 1)
+        machine.step({"POWER_ON"})
+        machine.step({"HALL_CALL"})
+        machine.step()
+        machine.step({"FLOOR_SENSOR0"})
+        machine.step()
+        machine.step({"DOOR_TIMER0"})
+        machine.step({"DOOR_TIMER0"})
+        before = machine.time
+        step = machine.step({"DOOR_BLOCKED0"})
+        reaction = step.end_time - before
+        assert machine.in_state("Opening0")
+        static_bound = system.critical_paths()["DOOR_BLOCKED0"]
+        assert reaction <= static_bound
+        assert reaction <= ELEVATOR_CONSTRAINTS["DOOR_BLOCKED0"]

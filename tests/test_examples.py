@@ -1,0 +1,40 @@
+"""Every shipped example must run cleanly and print its headline results."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["Table 2: Timing Constraints", "executing the compiled",
+                      "temperature = 6"],
+    "smd_pickup_head.py": ["Table 4: Area and Timing Results",
+                           "final architecture violations: none",
+                           "moves completed: 2/2",
+                           "XC4025 floorplan"],
+    "pedestrian_crossing.py": ["True", "simulated controller time"],
+    "design_space_exploration.py": ["4 parallel servers",
+                                    "SLA scaling with decoder width"],
+    "hardware_artifacts.py": [".model sla", "entity sla",
+                              "assembler listing"],
+    "elevator_bank.py": ["improvement trajectory", "solved: True",
+                         "cab position: 3"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for expected in EXPECTATIONS[script]:
+        assert expected in result.stdout, (script, expected)
+
+
+def test_every_example_file_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS)

@@ -1,0 +1,128 @@
+"""Tests for trigger/guard boolean expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.statechart.expr import (
+    And,
+    ExprError,
+    Name,
+    Not,
+    Or,
+    conjunction,
+    disjunction,
+    parse_expr,
+)
+
+NAMES = ["A", "B", "C", "DATA_VALID", "X_PULSE"]
+
+
+def exprs(depth=3):
+    """Hypothesis strategy for random expression trees."""
+    leaf = st.sampled_from(NAMES).map(Name)
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda p: And(*p)),
+            st.tuples(children, children).map(lambda p: Or(*p)),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestParsing:
+    def test_single_name(self):
+        assert parse_expr("POWER") == Name("POWER")
+
+    def test_or(self):
+        assert parse_expr("INIT or ALLRESET") == Or(Name("INIT"), Name("ALLRESET"))
+
+    def test_not_parenthesized(self):
+        e = parse_expr("not (X_PULSE or Y_PULSE)")
+        assert e == Not(Or(Name("X_PULSE"), Name("Y_PULSE")))
+
+    def test_and_chain(self):
+        e = parse_expr("XFINISH and YFINISH and PHIFINISH")
+        assert e == And(And(Name("XFINISH"), Name("YFINISH")), Name("PHIFINISH"))
+
+    def test_precedence_not_over_and_over_or(self):
+        e = parse_expr("not A and B or C")
+        assert e == Or(And(Not(Name("A")), Name("B")), Name("C"))
+
+    def test_nested_parens(self):
+        e = parse_expr("((A))")
+        assert e == Name("A")
+
+    @pytest.mark.parametrize("bad", ["", "and", "A or", "(A", "A)", "A B", "not"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ExprError):
+            parse_expr(bad)
+
+
+class TestEvaluation:
+    def test_name(self):
+        assert Name("A").evaluate({"A"})
+        assert not Name("A").evaluate({"B"})
+
+    def test_or_and_not(self):
+        e = parse_expr("not (X_PULSE or Y_PULSE)")
+        assert e.evaluate(set())
+        assert not e.evaluate({"X_PULSE"})
+        assert not e.evaluate({"Y_PULSE", "OTHER"})
+
+    def test_guard_conjunction(self):
+        e = parse_expr("XFINISH and YFINISH and PHIFINISH")
+        assert e.evaluate({"XFINISH", "YFINISH", "PHIFINISH"})
+        assert not e.evaluate({"XFINISH", "YFINISH"})
+
+    def test_evaluate_accepts_any_iterable(self):
+        assert parse_expr("A or B").evaluate(["B"])
+
+
+class TestHelpers:
+    def test_conjunction(self):
+        e = conjunction(["A", "B", "C"])
+        assert e.evaluate({"A", "B", "C"})
+        assert not e.evaluate({"A", "B"})
+
+    def test_disjunction(self):
+        e = disjunction(["A", "B"])
+        assert e.evaluate({"B"})
+        assert not e.evaluate(set())
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(ExprError):
+            conjunction([])
+
+    def test_names_collects_all(self):
+        e = parse_expr("not (A or B) and C")
+        assert e.names() == frozenset({"A", "B", "C"})
+
+
+class TestSumOfProducts:
+    def test_name_sop(self):
+        assert Name("A").to_sop() == [(frozenset({"A"}), frozenset())]
+
+    def test_demorgan(self):
+        e = parse_expr("not (A or B)")
+        assert e.to_sop() == [(frozenset(), frozenset({"A", "B"}))]
+
+    def test_contradiction_dropped(self):
+        e = And(Name("A"), Not(Name("A")))
+        assert e.to_sop() == []
+
+    @staticmethod
+    def _sop_evaluate(products, asserted):
+        return any(pos <= asserted and not (neg & asserted)
+                   for pos, neg in products)
+
+    @given(exprs(), st.sets(st.sampled_from(NAMES)))
+    def test_sop_equivalent_to_evaluate(self, expr, asserted):
+        products = expr.to_sop()
+        assert self._sop_evaluate(products, asserted) == expr.evaluate(asserted)
+
+    @given(exprs(), st.sets(st.sampled_from(NAMES)))
+    def test_str_roundtrip_preserves_semantics(self, expr, asserted):
+        reparsed = parse_expr(str(expr))
+        assert reparsed.evaluate(asserted) == expr.evaluate(asserted)

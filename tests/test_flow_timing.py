@@ -1,0 +1,271 @@
+"""Tests for the heuristic timing validator (section 4)."""
+
+import pytest
+
+from repro.flow.timing import EventCycle, TimingValidator, TimingViolation, lpt_makespan
+from repro.isa import ArchConfig
+from repro.statechart import ChartBuilder
+
+
+def costed_validator(chart, costs, n_teps=1):
+    """Validator with per-transition costs given by label lookup."""
+    arch = ArchConfig(n_teps=n_teps, data_width=16)
+
+    def cost(transition):
+        return costs.get(transition.label, costs.get("default", 10))
+
+    return TimingValidator(chart, cost, arch=arch)
+
+
+def serial_chart():
+    b = ChartBuilder("serial")
+    b.event("E", period=100)
+    b.event("STEP")
+    with b.or_state("Top", default="A"):
+        b.basic("A").transition("B", label="E/FromA()")
+        b.basic("B").transition("C", label="STEP/FromB()")
+        b.basic("C").transition("A", label="E/FromC()")
+    return b.build()
+
+
+def parallel_chart():
+    """One region consumes TICK; the sibling has bounded work."""
+    b = ChartBuilder("par")
+    b.event("TICK", period=200)
+    b.event("OTHER")
+    with b.and_state("W"):
+        with b.or_state("Main", default="M1"):
+            b.basic("M1").transition("M1", label="TICK/Handle()")
+        with b.or_state("Side", default="S1"):
+            b.basic("S1").transition("S2", label="OTHER/SideWork()")
+            b.basic("S2").transition("S1", label="OTHER/SideWork2()")
+    return b.build()
+
+
+class TestLpt:
+    def test_single_machine_sums(self):
+        assert lpt_makespan([5, 3, 2], 1) == 10
+
+    def test_two_machines_balance(self):
+        assert lpt_makespan([5, 3, 2], 2) == 5
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0
+
+    def test_more_machines_than_jobs(self):
+        assert lpt_makespan([7, 2], 8) == 7
+
+    def test_never_below_max_job(self):
+        assert lpt_makespan([10, 1, 1, 1], 3) == 10
+
+
+class TestConsumers:
+    def test_positive_trigger_consumes(self):
+        chart = serial_chart()
+        v = costed_validator(chart, {})
+        assert set(v.consuming_states("E")) == {"A", "C"}
+
+    def test_negated_event_does_not_consume(self):
+        b = ChartBuilder("neg")
+        b.event("P", period=100)
+        b.event("GO")
+        with b.or_state("T", default="S"):
+            b.basic("S").transition("S2", label="not P/Go()")
+            b.basic("S2").transition("S", label="P/Back()")
+        chart = b.build()
+        v = costed_validator(chart, {})
+        assert v.consuming_states("P") == ["S2"]
+
+    def test_guard_event_consumes(self):
+        b = ChartBuilder("g")
+        b.event("DV", period=100)
+        with b.or_state("T", default="S"):
+            b.basic("S").transition("S", label="[DV]/Get()")
+        chart = b.build()
+        v = costed_validator(chart, {})
+        assert v.consuming_states("DV") == ["S"]
+
+
+class TestEventCycles:
+    def test_simple_path_between_consumers(self):
+        chart = serial_chart()
+        costs = {"E/FromA()": 30, "STEP/FromB()": 40, "E/FromC()": 50}
+        v = costed_validator(chart, costs)
+        cycles = v.event_cycles("E")
+        lengths = {c.states: c.length for c in cycles}
+        # A --E--> B --STEP--> C : path between two E-consumers
+        assert lengths[("A", "B", "C")] == 70
+        # C --E--> A : single step between consumers
+        assert lengths[("C", "A")] == 50
+
+    def test_self_loop_cycle(self):
+        b = ChartBuilder("self")
+        b.event("T", period=50)
+        with b.or_state("Top", default="S"):
+            b.basic("S").transition("S", label="T/Work()")
+        v = costed_validator(b.build(), {"T/Work()": 33})
+        cycles = v.event_cycles("T")
+        assert len(cycles) == 1
+        assert cycles[0].states == ("S", "S")
+        assert cycles[0].length == 33
+
+    def test_completion_transitions_not_steps(self):
+        b = ChartBuilder("comp")
+        b.event("T", period=50)
+        with b.or_state("Top", default="S"):
+            b.basic("S").transition("Mid", label="T/Go()")
+            b.basic("Mid").transition("S", label="/AutoBack()")
+        v = costed_validator(b.build(), {})
+        # the only way back to the consumer is a pure completion transition,
+        # which is not an event-cycle step
+        assert all(c.states == ("S", "Mid") or len(c.states) == 2
+                   for c in v.event_cycles("T"))
+        assert not any(c.states[-1] == "S" and len(c.states) == 3
+                       for c in v.event_cycles("T"))
+
+    def test_condition_only_transitions_not_steps(self):
+        b = ChartBuilder("cond")
+        b.event("T", period=50)
+        b.condition("C")
+        with b.or_state("Top", default="S"):
+            b.basic("S").transition("Mid", label="T/Go()")
+            b.basic("Mid").transition("S", label="[C]/CondBack()")
+        v = costed_validator(b.build(), {})
+        assert not any(len(c.states) == 3 for c in v.event_cycles("T"))
+
+    def test_inherited_transitions_traversed(self):
+        b = ChartBuilder("inh")
+        b.event("T", period=500)
+        b.event("RESET")
+        with b.or_state("Top", default="Work"):
+            with b.or_state("Work", default="S") as work:
+                b.basic("S").transition("Mid", label="T/Go()")
+                b.basic("Mid")
+            work.transition("Idle", label="RESET/Clear()")
+            b.basic("Idle").transition("Work", label="T/Restart()")
+        v = costed_validator(b.build(), {"T/Go()": 10, "RESET/Clear()": 20,
+                                         "T/Restart()": 30})
+        cycles = v.event_cycles("T")
+        lengths = {c.states: c.length for c in cycles}
+        # Mid inherits Work's RESET transition to Idle (a T-consumer)
+        assert ("S", "Mid", "Idle") in lengths
+        assert lengths[("S", "Mid", "Idle")] == 30
+
+    def test_dedupe_keeps_one_per_transition_sequence(self):
+        b = ChartBuilder("dedupe")
+        b.event("T", period=100)
+        b.event("OUT")
+        with b.or_state("Top", default="Idle"):
+            b.basic("Idle").transition("Grp", label="T/Enter()")
+            with b.or_state("Grp", default="Inner") as grp:
+                b.basic("Inner")
+            grp.transition("Idle", label="OUT/Leave()")
+        v = costed_validator(b.build(), {})
+        cycles = v.event_cycles("T")
+        # entering Grp branches into positions Grp and Inner, but both paths
+        # use the same transitions -> one cycle reported
+        two_step = [c for c in cycles if len(c.transition_indices) == 2]
+        assert len(two_step) == 1
+
+
+class TestParallelBounds:
+    def test_region_jobs_or_takes_max(self):
+        chart = parallel_chart()
+        v = costed_validator(chart, {"OTHER/SideWork()": 70,
+                                     "OTHER/SideWork2()": 90})
+        assert v.region_jobs("Side") == (90,)
+        assert v.region_upper_bound("Side") == 90
+
+    def test_region_jobs_and_concatenates(self):
+        b = ChartBuilder("andjobs")
+        b.event("E", period=10)
+        with b.or_state("Top", default="W"):
+            with b.and_state("W"):
+                with b.or_state("A", default="A1"):
+                    b.basic("A1").transition("A1", label="E/Wa()")
+                with b.or_state("B", default="B1"):
+                    b.basic("B1").transition("B1", label="E/Wb()")
+        chart = b.build()
+        v = costed_validator(chart, {"E/Wa()": 40, "E/Wb()": 60})
+        assert sorted(v.region_jobs("W")) == [40, 60]
+        assert v.region_upper_bound("W") == 100
+
+    def test_sibling_bound_added_on_one_tep(self):
+        chart = parallel_chart()
+        v = costed_validator(chart, {"TICK/Handle()": 25,
+                                     "OTHER/SideWork()": 70,
+                                     "OTHER/SideWork2()": 90})
+        cycles = v.event_cycles("TICK")
+        # step cost = own 25 + sibling bound 90
+        assert cycles[0].length == 115
+
+    def test_sibling_overlaps_on_two_teps(self):
+        chart = parallel_chart()
+        costs = {"TICK/Handle()": 25, "OTHER/SideWork()": 70,
+                 "OTHER/SideWork2()": 90}
+        v2 = costed_validator(chart, costs, n_teps=2)
+        cycles = v2.event_cycles("TICK")
+        # LPT([25, 90], 2) = 90
+        assert cycles[0].length == 90
+
+    def test_exit_transition_drops_sibling_bound(self):
+        b = ChartBuilder("exitdrop")
+        b.event("T", period=1000)
+        b.event("OUT").event("W")
+        with b.or_state("Top", default="Idle"):
+            b.basic("Idle").transition("Work", label="T/Enter()")
+            with b.and_state("Work") as work:
+                with b.or_state("A", default="A1"):
+                    b.basic("A1").transition("A1", label="T/Inner()")
+                with b.or_state("B", default="B1"):
+                    b.basic("B1").transition("B1", label="W/Heavy()")
+            work.transition("Idle", label="OUT/Leave()")
+        chart = b.build()
+        costs = {"T/Enter()": 10, "T/Inner()": 20, "W/Heavy()": 500,
+                 "OUT/Leave()": 30}
+        v = costed_validator(chart, costs)
+        lengths = {c.states: c.length for c in v.event_cycles("T")}
+        # the self-loop inside A pays the sibling bound
+        assert lengths[("A1", "A1")] == 520
+        # leaving Work pays no sibling bound: Enter(10) + Leave(30)
+        entry_exit = [l for s, l in lengths.items()
+                      if s[0] == "Idle" and s[-1] == "Idle"]
+        assert 40 in entry_exit
+
+
+class TestValidationAndReporting:
+    def test_violations_flag_excess(self):
+        chart = serial_chart()
+        v = costed_validator(chart, {"E/FromA()": 80, "STEP/FromB()": 40,
+                                     "E/FromC()": 10})
+        violations = v.validate()
+        assert any(viol.cycle.states == ("A", "B", "C") for viol in violations)
+        worst = max(violations, key=lambda x: x.excess)
+        assert worst.excess == 20  # 120 - 100
+        assert "exceeds" in worst.describe()
+
+    def test_no_violation_when_fast(self):
+        chart = serial_chart()
+        v = costed_validator(chart, {"default": 5, "E/FromA()": 5,
+                                     "STEP/FromB()": 5, "E/FromC()": 5})
+        assert v.validate() == []
+
+    def test_critical_path_is_longest_cycle(self):
+        chart = serial_chart()
+        v = costed_validator(chart, {"E/FromA()": 30, "STEP/FromB()": 40,
+                                     "E/FromC()": 50})
+        assert v.critical_path("E") == 70
+
+    def test_all_cycles_covers_constrained_events(self):
+        chart = parallel_chart()
+        v = costed_validator(chart, {"default": 5})
+        events = {c.event for c in v.all_cycles()}
+        assert events == {"TICK"}
+
+    def test_annotated_dot_output(self):
+        chart = parallel_chart()
+        v = costed_validator(chart, {"default": 5})
+        dot = v.annotated_dot("TICK")
+        assert "digraph" in dot
+        assert "upper bound" in dot
+        assert "period 200" in dot

@@ -1,0 +1,140 @@
+"""Tests for the transition-graph view and structural reachability."""
+
+from repro.statechart import (
+    ChartBuilder,
+    TransitionGraph,
+    reachable_states,
+)
+
+
+def fig4_like_chart():
+    """Shape of Fig. 4: Assembly = OR(Off, Operating=AND(...), Idle, Errstate)."""
+    b = ChartBuilder("fig4")
+    b.event("POWER").event("DATA_VALID", period=1500).event("ERROR")
+    b.event("INIT")
+    with b.or_state("Assembly", default="Off"):
+        b.basic("Off").transition("Operating", label="POWER")
+        with b.and_state("Operating") as operating:
+            with b.or_state("DataPreparation", default="OpReady"):
+                b.basic("OpReady").transition("Empty", label="[DATA_VALID]/GetByte()")
+                b.basic("Empty").transition("Bounds", label="/Check()")
+                b.basic("Bounds").transition("NoData", label="/Consume()")
+                b.basic("NoData").transition("OpReady", label="[DATA_VALID]/GetByte()")
+            with b.or_state("Reach", default="RIdle"):
+                b.basic("RIdle").transition("Run", label="[MOVEMENT]")
+                b.basic("Run").transition("RIdle", label="END_MOVE")
+        operating.transition("Errstate", label="ERROR/Stop()")
+        b.basic("Idle").transition("Operating", label="INIT")
+        b.basic("Errstate").transition("Idle", label="INIT")
+    b.event("END_MOVE")
+    b.condition("MOVEMENT")
+    return b.build()
+
+
+class TestSuccessors:
+    def test_direct_successors(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        targets = [t for t, _ in graph.successors("OpReady")]
+        assert targets == ["Empty"]
+
+    def test_effective_successors_include_inherited(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        # From OpReady (inside Operating), the ERROR transition on Operating
+        # is inherited.
+        targets = {t for t, _ in graph.effective_successors("OpReady")}
+        assert targets == {"Empty", "Errstate"}
+
+    def test_effective_successors_dedupe(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        pairs = list(graph.effective_successors("OpReady"))
+        indices = [t.index for _, t in pairs]
+        assert len(indices) == len(set(indices))
+
+
+class TestConsumingStates:
+    def test_data_valid_consumers(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        assert set(graph.consuming_states("DATA_VALID")) == {"OpReady", "NoData"}
+
+    def test_error_consumed_by_composite(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        assert graph.consuming_states("ERROR") == ["Operating"]
+
+    def test_unknown_signal_has_no_consumers(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        assert graph.consuming_states("NOT_A_SIGNAL") == []
+
+
+class TestParallelContexts:
+    def test_inside_and_region(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        contexts = graph.parallel_contexts("OpReady")
+        assert len(contexts) == 1
+        ctx = contexts[0]
+        assert ctx.and_state == "Operating"
+        assert ctx.own_region == "DataPreparation"
+        assert ctx.sibling_regions == ("Reach",)
+
+    def test_outside_and_no_context(self):
+        chart = fig4_like_chart()
+        graph = TransitionGraph(chart)
+        assert graph.parallel_contexts("Idle") == []
+
+    def test_nested_and_contexts_innermost_first(self):
+        b = ChartBuilder("nested_and")
+        b.event("E")
+        with b.or_state("Top", default="W"):
+            with b.and_state("W"):
+                with b.or_state("R1", default="Inner"):
+                    with b.and_state("Inner"):
+                        with b.or_state("IR1", default="L1"):
+                            b.basic("L1").transition("L1", label="E")
+                        with b.or_state("IR2", default="L2"):
+                            b.basic("L2")
+                with b.or_state("R2", default="X"):
+                    b.basic("X")
+        chart = b.build()
+        contexts = TransitionGraph(chart).parallel_contexts("L1")
+        assert [c.and_state for c in contexts] == ["Inner", "W"]
+        assert contexts[0].sibling_regions == ("IR2",)
+        assert contexts[1].sibling_regions == ("R2",)
+
+
+class TestReachability:
+    def test_all_states_reachable_in_fig4(self):
+        chart = fig4_like_chart()
+        reached = reachable_states(chart)
+        assert set(chart.states) == reached
+
+    def test_dead_state_detected(self):
+        b = ChartBuilder("dead")
+        b.event("E")
+        with b.or_state("Top", default="A"):
+            b.basic("A").transition("B", label="E")
+            b.basic("B")
+            b.basic("Orphan")
+        chart = b.build()
+        reached = reachable_states(chart)
+        assert "Orphan" not in reached
+        assert "B" in reached
+
+
+class TestDot:
+    def test_dot_contains_clusters_and_edges(self):
+        chart = fig4_like_chart()
+        dot = TransitionGraph(chart).to_dot()
+        assert "digraph" in dot
+        assert 'subgraph "cluster_Operating"' in dot
+        assert '"Off" -> "Operating"' in dot
+
+    def test_dot_highlight(self):
+        chart = fig4_like_chart()
+        dot = TransitionGraph(chart).to_dot(highlight={0})
+        assert "color=red" in dot

@@ -1,0 +1,180 @@
+"""Tests for the hardware models: devices, library, area, floorplan, VHDL."""
+
+import pytest
+
+from repro.hw import (
+    AppStats,
+    FloorplanError,
+    SMD_APP_STATS,
+    XC4005,
+    XC4025,
+    clock_period_ns,
+    custom_instruction_is_safe,
+    emit_decoder_rom_vhdl,
+    emit_pscp_skeleton,
+    emit_sla_vhdl,
+    estimate_area,
+    floorplan,
+    max_clock_mhz,
+    smallest_fitting,
+    tep_area_clbs,
+    tep_components,
+)
+from repro.isa import CustomInstruction, DecoderRom, Imm, Instruction, MD16_TEP, MINIMAL_TEP, Op
+
+
+class TestDevice:
+    def test_xc4025_is_32x32(self):
+        assert XC4025.clbs == 1024
+        assert XC4025.rows == 32 and XC4025.cols == 32
+
+    def test_smallest_fitting(self):
+        assert smallest_fitting(100).name == "XC4003"
+        assert smallest_fitting(500).name == "XC4013"  # 24x24 = 576
+        assert smallest_fitting(1024).name == "XC4025"
+
+    def test_too_big_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            smallest_fitting(2000)
+
+    def test_utilization(self):
+        assert XC4025.utilization(512) == 0.5
+
+
+class TestTepArea:
+    def test_minimal_smaller_than_md16(self):
+        assert tep_area_clbs(MINIMAL_TEP) < tep_area_clbs(MD16_TEP)
+
+    def test_every_option_costs_area(self):
+        base = tep_area_clbs(MD16_TEP)
+        for knob in (dict(has_comparator=True), dict(has_negator=True),
+                     dict(has_barrel_shifter=True),
+                     dict(register_file_size=4),
+                     dict(internal_ram_words=256)):
+            assert tep_area_clbs(MD16_TEP.with_(**knob)) > base, knob
+
+    def test_custom_instruction_costs_area(self):
+        custom = CustomInstruction("c", "(v0+v1)", 2, 2)
+        assert tep_area_clbs(MD16_TEP.with_(custom_instructions=(custom,))) \
+            > tep_area_clbs(MD16_TEP)
+
+    def test_component_breakdown_sums(self):
+        parts = tep_components(MD16_TEP)
+        assert sum(p.clbs for p in parts) == tep_area_clbs(MD16_TEP)
+        names = {p.name for p in parts}
+        assert {"calculation-unit", "microcontrol", "internal-ram",
+                "muldiv-unit"} <= names
+
+
+class TestTable4AreaCalibration:
+    """The three Table 4 area rows, within 5 CLBs of the paper."""
+
+    @pytest.mark.parametrize("arch,paper", [
+        (MINIMAL_TEP, 224),
+        (MD16_TEP, 421),
+        (MD16_TEP.with_(n_teps=2), 773),
+    ], ids=["minimal", "md16", "2xmd16"])
+    def test_calibrated(self, arch, paper):
+        measured = estimate_area(arch).total_clbs
+        assert abs(measured - paper) <= 5, (measured, paper)
+
+    def test_final_architecture_fits_xc4025(self):
+        assert estimate_area(MD16_TEP.with_(n_teps=2)).fits(XC4025)
+
+    def test_shared_area_independent_of_tep_count(self):
+        one = estimate_area(MD16_TEP)
+        two = estimate_area(MD16_TEP.with_(n_teps=2))
+        assert one.shared_clbs == two.shared_clbs
+        assert two.total_clbs - one.total_clbs == one.tep_clbs
+
+    def test_mutual_exclusions_add_decode_logic(self):
+        arch = MD16_TEP.with_(n_teps=2, mutual_exclusions=frozenset(
+            {frozenset({"A", "B"}), frozenset({"C", "D"})}))
+        assert estimate_area(arch).shared_clbs > \
+            estimate_area(MD16_TEP.with_(n_teps=2)).shared_clbs
+
+    def test_app_stats_validation(self):
+        with pytest.raises(ValueError):
+            AppStats(product_terms=-1, cr_bits=0, transitions=0, ports=0)
+
+    def test_report_readable(self):
+        text = estimate_area(MD16_TEP).report()
+        assert "sla" in text and "total" in text
+
+
+class TestTiming:
+    def test_wider_bus_slower_clock(self):
+        assert clock_period_ns(MD16_TEP) > clock_period_ns(MINIMAL_TEP)
+
+    def test_15mhz_reference_clock_achievable(self):
+        """The SMD example's 15 MHz reference clock must be within reach of
+        the final architecture."""
+        final = MD16_TEP.with_(n_teps=2, microcode_optimized=True)
+        assert max_clock_mhz(final) >= 15.0
+
+    def test_shallow_custom_instruction_safe(self):
+        shallow = CustomInstruction("c", "(v0+v1)", 2, 1)
+        assert custom_instruction_is_safe(shallow, MD16_TEP)
+
+    def test_deep_custom_instruction_unsafe(self):
+        deep = CustomInstruction("c", "((((v0+v1)+v0)+v1)+v0)", 2, 4)
+        assert not custom_instruction_is_safe(deep, MD16_TEP)
+
+
+class TestFloorplan:
+    def test_smd_final_architecture_floorplans(self):
+        estimate = estimate_area(MD16_TEP.with_(n_teps=2))
+        plan = floorplan(estimate)
+        assert plan.in_bounds()
+        assert plan.overlaps() == []
+        assert plan.used_clbs >= estimate.total_clbs
+
+    def test_utilization_close_to_area_estimate(self):
+        estimate = estimate_area(MD16_TEP.with_(n_teps=2))
+        plan = floorplan(estimate)
+        # rectangles may round up a little, but not balloon
+        assert plan.used_clbs <= estimate.total_clbs * 1.25
+
+    def test_does_not_fit_small_device(self):
+        estimate = estimate_area(MD16_TEP.with_(n_teps=2))
+        with pytest.raises(FloorplanError):
+            floorplan(estimate, device=XC4005)
+
+    def test_ascii_map_renders(self):
+        estimate = estimate_area(MINIMAL_TEP)
+        plan = floorplan(estimate)
+        text = plan.ascii_map()
+        assert "XC4025 floorplan" in text
+        rows = [line for line in text.splitlines()
+                if line and set(line) <= set(
+                    ".ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")]
+        assert len(rows) == 32
+        assert all(len(row) == 32 for row in rows)
+
+    def test_every_block_placed_once(self):
+        estimate = estimate_area(MD16_TEP)
+        plan = floorplan(estimate)
+        assert len(plan.placements) == len(estimate.blocks())
+        names = [p.name for p in plan.placements]
+        assert len(names) == len(set(names))
+
+
+class TestVhdl:
+    def test_sla_vhdl_contains_terms(self):
+        text = emit_sla_vhdl(
+            "sla", ["e0", "c0", "s0"], ["t0", "t1"],
+            {"t0": [(["s0", "e0"], ["c0"])], "t1": []})
+        assert "entity sla is" in text
+        assert "s0 = '1'" in text and "c0 = '0'" in text
+        assert "t1 <= '0';" in text
+
+    def test_decoder_rom_vhdl(self):
+        rom = DecoderRom(MINIMAL_TEP)
+        rom.add_instruction(Instruction(Op.LDA, Imm(1)))
+        text = emit_decoder_rom_vhdl(rom)
+        assert "rom_t" in text and 'x"' in text
+
+    def test_pscp_skeleton_instantiates_teps(self):
+        text = emit_pscp_skeleton(MD16_TEP.with_(n_teps=2))
+        assert "u_tep0" in text and "u_tep1" in text
+        assert "WIDTH => 16" in text

@@ -1,0 +1,278 @@
+"""Tests for the ISA: operands, legality, encoding, microcode (Table 1)."""
+
+import pytest
+
+from repro.isa import (
+    ArchConfig,
+    CustomInstruction,
+    DecoderRom,
+    Group,
+    Imm,
+    Instruction,
+    IsaError,
+    LabelRef,
+    MD16_TEP,
+    MINIMAL_TEP,
+    Mem,
+    Op,
+    PortRef,
+    Reg,
+    SignalRef,
+    StorageClass,
+    check_legal,
+    cycle_cost,
+    encode,
+    encoded_length,
+    format_table1,
+    microprogram,
+    program_size_words,
+)
+from repro.isa.microcode import FETCH_PROLOGUE, RETURN_TO_FETCH
+
+
+class TestArchConfig:
+    def test_basic_tep_defaults(self):
+        assert MINIMAL_TEP.data_width == 8
+        assert MINIMAL_TEP.instruction_width == 16
+        assert not MINIMAL_TEP.has_muldiv
+
+    def test_words_for(self):
+        assert MINIMAL_TEP.words_for(8) == 1
+        assert MINIMAL_TEP.words_for(9) == 2
+        assert MINIMAL_TEP.words_for(16) == 2
+        assert MD16_TEP.words_for(16) == 1
+        assert MD16_TEP.words_for(32) == 2
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ArchConfig(data_width=12)
+
+    def test_custom_depth_limit_enforced(self):
+        deep = CustomInstruction("x", "(v0+v1)", 2, depth=9)
+        with pytest.raises(ValueError):
+            ArchConfig(custom_instructions=(deep,))
+
+    def test_with_override(self):
+        arch = MINIMAL_TEP.with_(has_muldiv=True, name="plus-md")
+        assert arch.has_muldiv and MINIMAL_TEP.has_muldiv is False
+
+    def test_describe_mentions_key_facts(self):
+        text = MD16_TEP.with_(n_teps=2, microcode_optimized=True).describe()
+        assert "2x" in text and "16bit" in text and "M/D" in text
+        assert "optimized" in text
+
+    def test_mutual_exclusions(self):
+        arch = ArchConfig(n_teps=2, mutual_exclusions=frozenset(
+            {frozenset({"A", "B"})}))
+        assert arch.mutually_exclusive("A", "B")
+        assert arch.mutually_exclusive("B", "A")
+        assert not arch.mutually_exclusive("A", "C")
+
+
+class TestLegality:
+    def test_mul_needs_md_unit(self):
+        with pytest.raises(IsaError, match="M/D"):
+            check_legal(Instruction(Op.MUL, Imm(3)), MINIMAL_TEP)
+        check_legal(Instruction(Op.MUL, Imm(3)), MD16_TEP)
+
+    def test_neg_needs_negator(self):
+        with pytest.raises(IsaError, match="two's-complement"):
+            check_legal(Instruction(Op.NEG), MINIMAL_TEP)
+        check_legal(Instruction(Op.NEG), MINIMAL_TEP.with_(has_negator=True))
+
+    def test_cbeq_needs_comparator(self):
+        instr = Instruction(Op.CBEQ, Imm(1), LabelRef("x"))
+        with pytest.raises(IsaError, match="comparator"):
+            check_legal(instr, MINIMAL_TEP)
+
+    def test_shln_needs_barrel(self):
+        with pytest.raises(IsaError, match="barrel"):
+            check_legal(Instruction(Op.SHLN, Imm(4)), MINIMAL_TEP)
+
+    def test_register_bounds(self):
+        arch = MINIMAL_TEP.with_(register_file_size=2)
+        check_legal(Instruction(Op.LDA, Reg(1)), arch)
+        with pytest.raises(IsaError, match="register file"):
+            check_legal(Instruction(Op.LDA, Reg(2)), arch)
+
+    def test_internal_ram_bounds(self):
+        arch = MINIMAL_TEP.with_(internal_ram_words=16)
+        with pytest.raises(IsaError, match="words"):
+            check_legal(Instruction(Op.LDA, Mem(16)), arch)
+
+    def test_custom_index_bounds(self):
+        with pytest.raises(IsaError, match="CUSTOM"):
+            check_legal(Instruction(Op.CUSTOM, Imm(0)), MINIMAL_TEP)
+
+
+class TestEncoding:
+    def test_simple_encode_one_word(self):
+        words = encode(Instruction(Op.LDA, Imm(5)))
+        assert len(words) == 1
+        assert (words[0] >> 10) == Op.LDA.value
+        assert words[0] & 0xFF == 5
+
+    def test_wide_immediate_two_words(self):
+        words = encode(Instruction(Op.LDA, Imm(0x1234)))
+        assert len(words) == 2
+        assert words[1] == 0x1234
+
+    def test_register_encoding_distinct_from_memory(self):
+        reg = encode(Instruction(Op.LDA, Reg(3)))[0]
+        mem = encode(Instruction(Op.LDA, Mem(3)))[0]
+        assert reg != mem
+
+    def test_external_mode(self):
+        word = encode(Instruction(Op.STA, Mem(7, StorageClass.EXTERNAL)))[0]
+        assert (word >> 8) & 0x3 == 3  # Mode.EXTERNAL
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(IsaError, match="unresolved"):
+            encode(Instruction(Op.JMP, LabelRef("nowhere")))
+
+    def test_resolved_label(self):
+        words = encode(Instruction(Op.JMP, LabelRef("x", 0x22)))
+        assert words[0] & 0xFF == 0x22
+
+    def test_fused_branch_has_target_word(self):
+        instr = Instruction(Op.CBEQ, Imm(1), LabelRef("t", 0x40))
+        words = encode(instr)
+        assert words[-1] == 0x40
+
+    def test_encoded_length_matches_encode(self):
+        cases = [
+            Instruction(Op.LDA, Imm(5)),
+            Instruction(Op.LDA, Imm(300)),
+            Instruction(Op.STA, Mem(200, StorageClass.EXTERNAL)),
+            Instruction(Op.STA, Mem(200, StorageClass.INTERNAL)),
+            Instruction(Op.CBNE, Imm(1), LabelRef("t", 1)),
+            Instruction(Op.JMP, LabelRef("t", 0x300)),
+        ]
+        for instr in cases:
+            assert encoded_length(instr) == len(encode(instr)), instr
+
+    def test_program_size(self):
+        program = [Instruction(Op.LDA, Imm(5)), Instruction(Op.RET)]
+        assert program_size_words(program) == 2
+
+
+class TestMicrocode:
+    def test_every_microprogram_starts_with_fetch(self):
+        for op, operand in [(Op.LDA, Imm(1)), (Op.ADD, Mem(0)), (Op.JMP, LabelRef("x", 0)),
+                            (Op.TRET, None), (Op.EVSET, SignalRef(0))]:
+            ops = microprogram(Instruction(op, operand), MINIMAL_TEP)
+            assert ops[0] == FETCH_PROLOGUE[0]
+            assert ops[1] == FETCH_PROLOGUE[1]
+
+    def test_unoptimized_ends_with_return_jump(self):
+        ops = microprogram(Instruction(Op.NOP), MINIMAL_TEP)
+        assert ops[-1] == RETURN_TO_FETCH
+
+    def test_optimized_drops_return_jump(self):
+        arch = MINIMAL_TEP.with_(microcode_optimized=True)
+        unopt = cycle_cost(Instruction(Op.NOP), MINIMAL_TEP)
+        opt = cycle_cost(Instruction(Op.NOP), arch)
+        assert opt == unopt - 1
+
+    def test_external_access_costs_wait_states(self):
+        internal = cycle_cost(Instruction(Op.LDA, Mem(0)), MINIMAL_TEP)
+        external = cycle_cost(
+            Instruction(Op.LDA, Mem(0, StorageClass.EXTERNAL)), MINIMAL_TEP)
+        assert external == internal + MINIMAL_TEP.external_ram_wait_states
+
+    def test_register_access_cheapest(self):
+        arch = MINIMAL_TEP.with_(register_file_size=4)
+        reg = cycle_cost(Instruction(Op.LDA, Reg(0)), arch)
+        mem = cycle_cost(Instruction(Op.LDA, Mem(0)), arch)
+        assert reg < mem
+
+    def test_custom_instruction_single_execute_state(self):
+        arch = MINIMAL_TEP.with_(custom_instructions=(
+            CustomInstruction("c0", "(v0+v1)", 2, 1),))
+        ops = microprogram(Instruction(Op.CUSTOM, Imm(0)), arch)
+        # fetch(2) + one execute state + return jump
+        assert len(ops) == 4
+
+    def test_muldiv_slower_than_add(self):
+        arch = MD16_TEP
+        mul = cycle_cost(Instruction(Op.MUL, Mem(0)), arch)
+        add = cycle_cost(Instruction(Op.ADD, Mem(0)), arch)
+        assert mul > add
+
+    def test_fused_branch_cheaper_than_cmp_plus_jump(self):
+        arch = MINIMAL_TEP.with_(has_comparator=True)
+        fused = cycle_cost(
+            Instruction(Op.CBEQ, Mem(0), LabelRef("x", 0)), arch)
+        split = (cycle_cost(Instruction(Op.CMP, Mem(0)), arch)
+                 + cycle_cost(Instruction(Op.JZ, LabelRef("x", 0)), arch))
+        assert fused < split
+
+    def test_microop_encoding_roundtrip_fields(self):
+        ops = microprogram(Instruction(Op.ADD, Imm(1)), MINIMAL_TEP)
+        word = ops[-2].encode(0x17)
+        assert (word >> 13) & 0b111 == ops[-2].group.value
+        assert (word >> 8) & 0b11111 == ops[-2].signal
+        assert word & 0xFF == 0x17
+
+    def test_signal_field_fits_5_bits(self):
+        with pytest.raises(IsaError):
+            from repro.isa.microcode import MicroOp
+            MicroOp(Group.ALU, 32, "bad")
+
+
+class TestTable1:
+    """Regenerating the exact content of Table 1."""
+
+    def test_groups_match_paper(self):
+        rows = format_table1()
+        table = {symbolic: (bits, pattern) for symbolic, bits, pattern in rows}
+        assert table["arithmetic"] == ("001", "01x00")
+        assert table["logical"] == ("001", "000xx")
+        assert table["shift"] == ("010", "0xxxx")
+        assert table["single signals"] == ("011", "xxxxx")
+        assert table["address bus"] == ("100", "0xxxx")
+        assert table["jump, branch"] == ("101", "0xxxx")
+
+    def test_arithmetic_signals_match_pattern(self):
+        """add/sub/adc/sbc encodings fit Table 1's 01x00-family pattern."""
+        from repro.isa.microcode import ARITH_SIGNALS
+        for name in ("add", "sub", "adc", "sbc"):
+            code = ARITH_SIGNALS[name]
+            assert code & 0b01000, f"{name} must set the arithmetic bit"
+
+    def test_logical_signals_match_pattern(self):
+        from repro.isa.microcode import LOGIC_SIGNALS
+        for name in ("and", "or", "xor", "not"):
+            assert LOGIC_SIGNALS[name] & 0b11000 == 0
+
+
+class TestDecoderRom:
+    def test_shared_microprograms_stored_once(self):
+        rom = DecoderRom(MINIMAL_TEP)
+        a = rom.add_instruction(Instruction(Op.LDA, Imm(1)))
+        b = rom.add_instruction(Instruction(Op.LDA, Imm(2)))
+        assert a == b  # same shape -> same microprogram
+
+    def test_distinct_shapes_get_distinct_entries(self):
+        rom = DecoderRom(MINIMAL_TEP)
+        a = rom.add_instruction(Instruction(Op.LDA, Imm(1)))
+        b = rom.add_instruction(Instruction(Op.LDA, Mem(0)))
+        assert a != b
+        assert rom.size_words > 0
+
+    def test_rom_size_grows_with_isa_usage(self):
+        rom = DecoderRom(MINIMAL_TEP)
+        rom.add_program([Instruction(Op.LDA, Imm(1)),
+                         Instruction(Op.ADD, Mem(0)),
+                         Instruction(Op.JMP, LabelRef("x", 0)),
+                         Instruction(Op.RET)])
+        small = rom.size_words
+        rom.add_program([Instruction(Op.SUB, Mem(1)),
+                         Instruction(Op.OUTP, PortRef(1))])
+        assert rom.size_words > small
+
+    def test_dump_is_readable(self):
+        rom = DecoderRom(MINIMAL_TEP)
+        rom.add_instruction(Instruction(Op.NOP))
+        dump = rom.dump()
+        assert "decoder ROM" in dump

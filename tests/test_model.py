@@ -1,0 +1,172 @@
+"""Tests for the chart data model: hierarchy queries, completion, scopes."""
+
+import pytest
+
+from repro.statechart import (
+    Chart,
+    ChartBuilder,
+    ChartError,
+    PortKind,
+    StateKind,
+)
+
+
+@pytest.fixture
+def nested_chart():
+    """Top-level structure shaped like Fig. 6: an AND of two OR regions."""
+    b = ChartBuilder("nested")
+    b.event("GO").event("STOP").condition("READY")
+    with b.or_state("Main", default="Idle"):
+        b.basic("Idle").transition("Operation", label="GO")
+        with b.and_state("Operation"):
+            with b.or_state("Prep", default="P1"):
+                b.basic("P1").transition("P2", label="[READY]")
+                b.basic("P2").transition("P1", label="STOP")
+            with b.or_state("Move", default="M1"):
+                b.basic("M1").transition("M2", label="GO")
+                b.basic("M2")
+        b.basic("Err")
+    return b.build()
+
+
+class TestHierarchy:
+    def test_ancestors(self, nested_chart):
+        assert nested_chart.ancestors("P1") == ["Prep", "Operation", "Main", "Root"]
+
+    def test_is_ancestor_non_strict(self, nested_chart):
+        assert nested_chart.is_ancestor("P1", "P1")
+        assert nested_chart.is_ancestor("Operation", "M2")
+        assert not nested_chart.is_ancestor("Prep", "M1")
+
+    def test_lca_cousins(self, nested_chart):
+        assert nested_chart.lca("P1", "M2") == "Operation"
+
+    def test_lca_with_ancestor(self, nested_chart):
+        assert nested_chart.lca("P1", "Prep") == "Prep"
+
+    def test_depth(self, nested_chart):
+        assert nested_chart.depth("Root") == 0
+        assert nested_chart.depth("Main") == 1
+        assert nested_chart.depth("P1") == 4
+
+    def test_descendants_preorder(self, nested_chart):
+        descendants = list(nested_chart.descendants("Operation"))
+        assert descendants == ["Prep", "P1", "P2", "Move", "M1", "M2"]
+
+    def test_leaves(self, nested_chart):
+        assert set(nested_chart.leaves()) == {"Idle", "P1", "P2", "M1", "M2", "Err"}
+
+
+class TestDefaultCompletion:
+    def test_or_completion_follows_default(self, nested_chart):
+        assert nested_chart.default_completion("Prep") == ["Prep", "P1"]
+
+    def test_and_completion_enters_all_regions(self, nested_chart):
+        entered = nested_chart.default_completion("Operation")
+        assert set(entered) == {"Operation", "Prep", "P1", "Move", "M1"}
+
+    def test_initial_configuration(self, nested_chart):
+        assert nested_chart.initial_configuration() == frozenset(
+            {"Root", "Main", "Idle"})
+
+    def test_bad_default_raises(self):
+        chart = Chart("bad")
+        chart.add_state("A", StateKind.OR)
+        chart.add_state("A1", parent="A")
+        chart.states["A"].default = "NotAChild"
+        with pytest.raises(ChartError):
+            chart.default_completion("A")
+
+
+class TestScopesAndSets:
+    def test_sibling_transition_scope(self, nested_chart):
+        t = next(t for t in nested_chart.transitions if t.source == "P1")
+        assert nested_chart.transition_scope(t) == "Prep"
+
+    def test_cross_region_scope_climbs_to_or(self, nested_chart):
+        chart = nested_chart
+        t = chart.add_transition("P1", "M2")
+        # LCA is the AND state Operation; the scope must climb to Main.
+        assert chart.transition_scope(t) == "Main"
+
+    def test_exit_set(self, nested_chart):
+        chart = nested_chart
+        config = frozenset({"Root", "Main", "Operation", "Prep", "P1", "Move", "M1"})
+        t = next(t for t in chart.transitions
+                 if t.source == "Idle" and t.target == "Operation")
+        # Now a transition leaving Operation for Err:
+        t_err = chart.add_transition("Operation", "Err")
+        exited = chart.exit_set(t_err, config)
+        assert exited == frozenset({"Operation", "Prep", "P1", "Move", "M1"})
+
+    def test_entry_set_enters_parallel_regions(self, nested_chart):
+        chart = nested_chart
+        t = next(t for t in chart.transitions if t.source == "Idle")
+        entered = chart.entry_set(t)
+        assert entered == frozenset({"Operation", "Prep", "P1", "Move", "M1"})
+
+    def test_entry_set_deep_target_enters_sibling_regions(self, nested_chart):
+        chart = nested_chart
+        t = chart.add_transition("Idle", "P2")
+        entered = chart.entry_set(t)
+        # Entering P2 directly still default-completes the Move region.
+        assert "P2" in entered and "Move" in entered and "M1" in entered
+        assert "P1" not in entered
+
+
+class TestDeclarations:
+    def test_duplicate_state_rejected(self):
+        chart = Chart("dup")
+        chart.add_state("A")
+        with pytest.raises(ChartError):
+            chart.add_state("A")
+
+    def test_duplicate_signal_rejected(self):
+        chart = Chart("dup")
+        chart.add_event("X")
+        with pytest.raises(ChartError):
+            chart.add_condition("X")
+
+    def test_unknown_parent_rejected(self):
+        chart = Chart("c")
+        with pytest.raises(ChartError):
+            chart.add_state("A", parent="Nope")
+
+    def test_transition_to_unknown_state_rejected(self):
+        chart = Chart("c")
+        chart.add_state("A")
+        with pytest.raises(ChartError):
+            chart.add_transition("A", "B")
+
+    def test_port_width_positive(self):
+        chart = Chart("c")
+        with pytest.raises(ValueError):
+            chart.add_port("P", PortKind.DATA, width=0)
+
+    def test_constrained_events(self):
+        chart = Chart("c")
+        chart.add_event("A", period=300)
+        chart.add_event("B")
+        assert [e.name for e in chart.constrained_events()] == ["A"]
+
+    def test_signals_order_events_first(self):
+        chart = Chart("c")
+        chart.add_condition("C1")
+        chart.add_event("E1")
+        assert chart.signals() == ["E1", "C1"]
+
+
+class TestTransitionQueries:
+    def test_names_consumed_merges_trigger_and_guard(self, nested_chart):
+        chart = nested_chart
+        from repro.statechart import parse_expr
+        t = chart.add_transition(
+            "Idle", "Err", trigger=parse_expr("GO"), guard=parse_expr("READY"))
+        assert t.names_consumed() == frozenset({"GO", "READY"})
+        assert t.consumes("GO") and t.consumes("READY")
+        assert not t.consumes("STOP")
+
+    def test_describe_mentions_endpoints(self, nested_chart):
+        t = nested_chart.transitions[0]
+        text = t.describe()
+        assert t.source in text and t.target in text

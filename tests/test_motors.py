@@ -1,0 +1,157 @@
+"""Tests for the stepper-motor physics (Fig. 7 parameters)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.motors import (
+    DATA_VALID_PERIOD_CYCLES,
+    Motor,
+    MotorSpec,
+    PHI_MOTOR,
+    ProfileError,
+    REFERENCE_CLOCK_HZ,
+    TrapezoidalProfile,
+    X_MOTOR,
+    XY_DEADLINE_CYCLES,
+    Y_MOTOR,
+    Z_MOTOR,
+    move_duration_cycles,
+    steps_for_distance,
+)
+
+
+class TestPaperParameters:
+    """Section 5's numbers are encoded faithfully."""
+
+    def test_xy_step_rate(self):
+        assert X_MOTOR.max_step_hz == 50_000
+        assert Y_MOTOR.max_step_hz == 50_000
+
+    def test_z_phi_step_rate(self):
+        assert Z_MOTOR.max_step_hz == 9_000
+        assert PHI_MOTOR.max_step_hz == 9_000
+
+    def test_step_sizes(self):
+        assert X_MOTOR.step_size == pytest.approx(0.025e-3)
+        assert PHI_MOTOR.step_size == pytest.approx(0.1)
+
+    def test_xy_velocity_and_acceleration(self):
+        assert X_MOTOR.max_velocity == pytest.approx(1.25)
+        assert X_MOTOR.max_acceleration == pytest.approx(10.0)
+
+    def test_reference_clock(self):
+        assert REFERENCE_CLOCK_HZ == 15_000_000
+
+    def test_table2_deadlines_derive_from_step_rates(self):
+        # 15 MHz / 50 kHz = 300 cycles between X/Y pulses at full speed
+        assert REFERENCE_CLOCK_HZ // X_MOTOR.max_step_hz == XY_DEADLINE_CYCLES
+        assert DATA_VALID_PERIOD_CYCLES == 1500
+
+    def test_min_step_interval(self):
+        assert X_MOTOR.min_step_interval_cycles == 300
+        assert PHI_MOTOR.min_step_interval_cycles == 1666
+
+    def test_max_travel_one_metre(self):
+        steps = steps_for_distance(X_MOTOR, 1.0)
+        assert steps == 40_000  # 1 m at 0.025 mm/step
+
+
+class TestTrapezoidalProfile:
+    def test_step_times_monotonic(self):
+        times = TrapezoidalProfile(X_MOTOR, 500).step_times()
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_respects_max_step_rate(self):
+        profile = TrapezoidalProfile(X_MOTOR, 2000)
+        assert profile.max_step_rate() <= X_MOTOR.max_step_hz * 1.01
+
+    def test_short_move_triangular(self):
+        """A short move never reaches max velocity."""
+        profile = TrapezoidalProfile(X_MOTOR, 100)
+        distance = 100 * X_MOTOR.step_size
+        peak = math.sqrt(distance * X_MOTOR.max_acceleration)
+        assert peak < X_MOTOR.max_velocity
+        # duration of a triangular profile: 2 * sqrt(d / a)
+        expected = 2 * math.sqrt(distance / X_MOTOR.max_acceleration)
+        assert profile.duration() == pytest.approx(expected, rel=0.01)
+
+    def test_long_move_reaches_cruise(self):
+        steps = steps_for_distance(X_MOTOR, 0.5)
+        profile = TrapezoidalProfile(X_MOTOR, steps)
+        # near-cruise step spacing at the end of the ramp
+        rate = profile.max_step_rate()
+        assert rate == pytest.approx(
+            X_MOTOR.max_velocity / X_MOTOR.step_size, rel=0.02)
+
+    def test_uniform_motor_constant_spacing(self):
+        times = TrapezoidalProfile(PHI_MOTOR, 10).step_times()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(gaps[0]) for g in gaps)
+        assert gaps[0] == pytest.approx(1 / PHI_MOTOR.max_step_hz)
+
+    def test_zero_steps(self):
+        profile = TrapezoidalProfile(X_MOTOR, 0)
+        assert profile.step_times() == []
+        assert profile.duration() == 0.0
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ProfileError):
+            TrapezoidalProfile(X_MOTOR, -1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 3000))
+    def test_total_distance_preserved(self, steps):
+        profile = TrapezoidalProfile(X_MOTOR, steps)
+        assert len(profile.step_times()) == steps
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 2000))
+    def test_pulse_gaps_never_beat_deadline(self, steps):
+        """No two X pulses are closer than the Table 2 deadline permits."""
+        pulses = TrapezoidalProfile(X_MOTOR, steps).pulse_cycles()
+        gaps = [b - a for a, b in zip(pulses, pulses[1:])]
+        if gaps:
+            assert min(gaps) >= XY_DEADLINE_CYCLES - 1
+
+
+class TestMotorState:
+    def test_command_and_pulses(self):
+        motor = Motor(PHI_MOTOR)
+        motor.command_move(5, start_cycle=1000)
+        pulses = motor.pulses_between(0, 10_000_000)
+        assert len(pulses) == 5
+        assert motor.position_steps == 5
+        assert not motor.moving
+
+    def test_direction(self):
+        motor = Motor(PHI_MOTOR)
+        motor.command_move(-3, start_cycle=0)
+        motor.pulses_between(0, 10_000_000)
+        assert motor.position_steps == -3
+
+    def test_pulses_delivered_incrementally(self):
+        motor = Motor(PHI_MOTOR)
+        motor.command_move(10, start_cycle=0)
+        first = motor.pulses_between(0, 5000)
+        rest = motor.pulses_between(5000, 10_000_000)
+        assert len(first) + len(rest) == 10
+        assert all(p <= 5000 for p in first)
+
+    def test_double_command_rejected(self):
+        motor = Motor(PHI_MOTOR)
+        motor.command_move(10, start_cycle=0)
+        with pytest.raises(ProfileError):
+            motor.command_move(5, start_cycle=10)
+
+    def test_finish_time(self):
+        motor = Motor(PHI_MOTOR)
+        motor.command_move(4, start_cycle=100)
+        finish = motor.finish_time()
+        assert finish is not None
+        assert finish > 100
+
+    def test_move_duration_helper(self):
+        assert move_duration_cycles(PHI_MOTOR, 3) == \
+            TrapezoidalProfile(PHI_MOTOR, 3).pulse_cycles()[-1]

@@ -1,0 +1,181 @@
+"""Tests for the textual statechart format (Fig. 2a) parser and emitter."""
+
+import pytest
+
+from repro.statechart import (
+    ParseError,
+    PortDirection,
+    PortKind,
+    StateKind,
+    emit_chart,
+    parse_chart,
+)
+
+FIG_2A = """
+basicstate Errstate {
+  transition {
+    target Idle1;
+    label "INIT or ALLRESET/InitializeAll()"
+  }
+}
+andstate Operation {
+  contains DataPreparation, ReachPosition;
+  transition {
+    target Idle1;
+    label "INIT or ALLRESET/InitializeAll()";
+  }
+  transition {
+    target Errstate;
+    label "ERROR/Stop()";
+  }
+}
+orstate DataPreparation {
+  contains OpcodeReady, EmptyBuf, Bounds, NoData;
+  default OpcodeReady;
+}
+basicstate OpcodeReady {}
+basicstate EmptyBuf {}
+basicstate Bounds {}
+basicstate NoData {}
+basicstate ReachPosition {}
+basicstate Idle1 {}
+
+event INIT;
+event ALLRESET;
+event ERROR;
+"""
+
+
+class TestFig2aFragment:
+    """The exact textual fragment shown in Fig. 2a parses correctly."""
+
+    def test_parses(self):
+        chart = parse_chart(FIG_2A, name="fig2a")
+        assert chart.states["Operation"].kind is StateKind.AND
+        assert chart.states["DataPreparation"].kind is StateKind.OR
+        assert chart.states["DataPreparation"].default == "OpcodeReady"
+        assert chart.states["DataPreparation"].children == [
+            "OpcodeReady", "EmptyBuf", "Bounds", "NoData"]
+
+    def test_transition_labels_parsed(self):
+        chart = parse_chart(FIG_2A)
+        err = chart.states["Errstate"].transitions[0]
+        assert err.target == "Idle1"
+        assert err.trigger is not None
+        assert err.trigger.names() == {"INIT", "ALLRESET"}
+        assert err.action == "InitializeAll()"
+
+    def test_composite_transition(self):
+        chart = parse_chart(FIG_2A)
+        targets = [t.target for t in chart.states["Operation"].transitions]
+        assert targets == ["Idle1", "Errstate"]
+
+    def test_label_semicolon_optional(self):
+        # Fig. 2a itself omits the semicolon after the first label.
+        chart = parse_chart(FIG_2A)
+        assert len(chart.states["Errstate"].transitions) == 1
+
+    def test_roots_attach_under_implicit_root(self):
+        chart = parse_chart(FIG_2A)
+        top = chart.states[chart.root].children
+        assert "Errstate" in top and "Operation" in top and "Idle1" in top
+        assert "OpcodeReady" not in top
+
+
+class TestDeclarations:
+    def test_event_with_period(self):
+        chart = parse_chart("event DATA_VALID period 1500; basicstate S {}")
+        assert chart.events["DATA_VALID"].period == 1500
+
+    def test_condition_with_initial(self):
+        chart = parse_chart("condition MOVEMENT initial true; basicstate S {}")
+        assert chart.conditions["MOVEMENT"].initial is True
+
+    def test_port_declaration(self):
+        chart = parse_chart(
+            "port PE0 : event width 1 address 448 out; basicstate S {}")
+        port = chart.ports["PE0"]
+        assert port.kind is PortKind.EVENT
+        assert port.width == 1
+        assert port.address == 448
+        assert port.direction is PortDirection.OUTPUT
+
+    def test_chart_name_directive(self):
+        chart = parse_chart("chart pickup; basicstate S {}")
+        assert chart.name == "pickup"
+
+    def test_wcet_override(self):
+        chart = parse_chart("""
+            event E;
+            basicstate A { transition { target B; label "E"; wcet 250; } }
+            basicstate B {}
+        """)
+        assert chart.transitions[0].wcet_override == 250
+
+    def test_refstate(self):
+        chart = parse_chart("""
+            orstate Top { contains MoveX; default MoveX; }
+            refstate MoveX { refers MotorChart; }
+        """)
+        assert chart.states["MoveX"].kind is StateKind.REF
+        assert chart.states["MoveX"].ref == "MotorChart"
+
+    def test_comments_ignored(self):
+        chart = parse_chart("""
+            // a line comment
+            # another comment style
+            basicstate S {}  // trailing
+        """)
+        assert "S" in chart.states
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text, fragment", [
+        ("basicstate {", "expected name"),
+        ("basicstate S { transition { label \"E\"; } }", "without target"),
+        ("orstate A { contains B; } orstate B { contains A; }", "root"),
+        ("basicstate S { contains T; }", "not declared"),
+        ("basicstate S {} basicstate S {}", "duplicate"),
+        ("weirdtoken", "unexpected"),
+        ("basicstate S { transition { target T; } }", "unknown target"),
+    ])
+    def test_rejects(self, text, fragment):
+        with pytest.raises(ParseError) as excinfo:
+            parse_chart(text)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_chart("basicstate S {}\nbasicstate S {}")
+        assert excinfo.value.line == 2
+
+    def test_double_containment_rejected(self):
+        text = """
+        orstate A { contains C; }
+        orstate B { contains C; }
+        basicstate C {}
+        """
+        with pytest.raises(ParseError):
+            parse_chart(text)
+
+
+class TestRoundTrip:
+    def test_emit_then_parse_preserves_structure(self):
+        chart = parse_chart(FIG_2A, name="fig2a")
+        text = emit_chart(chart)
+        again = parse_chart(text)
+        assert set(again.states) == set(chart.states)
+        assert again.states["DataPreparation"].default == "OpcodeReady"
+        assert len(again.transitions) == len(chart.transitions)
+        for a, b in zip(again.transitions, chart.transitions):
+            assert a.source == b.source and a.target == b.target
+            assert a.action == b.action
+
+    def test_emit_includes_declarations(self):
+        chart = parse_chart(
+            "event E period 10; condition C initial true;"
+            "port P : data width 8 inout; basicstate S {}")
+        text = emit_chart(chart)
+        assert "event E period 10;" in text
+        assert "condition C initial true;" in text
+        assert "port P : data width 8 inout;" in text

@@ -1,0 +1,116 @@
+"""Property: the textual statechart format round-trips arbitrary charts.
+
+Random chart shapes (nested OR/AND, random labels with every trigger/guard
+combination, wcet overrides, declarations) are emitted to the Fig. 2a format
+and re-parsed; structure, labels and semantics must survive.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.statechart import (
+    ChartBuilder,
+    Interpreter,
+    emit_chart,
+    parse_chart,
+)
+
+EVENTS = ["E0", "E1", "E2"]
+CONDITIONS = ["C0", "C1"]
+
+
+@st.composite
+def charts(draw):
+    b = ChartBuilder("roundtrip")
+    for index, event in enumerate(EVENTS):
+        period = draw(st.sampled_from([None, 100, 5000]))
+        b.event(event, period=period)
+    for condition in CONDITIONS:
+        b.condition(condition, initial=draw(st.booleans()))
+
+    state_names = []
+
+    def label_for():
+        trigger = draw(st.sampled_from([None] + EVENTS))
+        guard = draw(st.sampled_from([None] + CONDITIONS))
+        negate = draw(st.booleans())
+        parts = []
+        if trigger:
+            parts.append(trigger if not negate else f"not {trigger}")
+        if guard:
+            parts.append(f"[{guard}]")
+        if draw(st.booleans()):
+            parts.append("/Act()")
+        return " ".join(parts) if parts else "E0"
+
+    def build_region(prefix, depth):
+        n_states = draw(st.integers(1, 3))
+        names = []
+        for index in range(n_states):
+            name = f"{prefix}S{index}"
+            if depth < 1 and draw(st.booleans()) and n_states > 1:
+                with b.or_state(name):
+                    build_region(f"{name}_", depth + 1)
+            else:
+                b.basic(name)
+            names.append(name)
+            state_names.append(name)
+        # ring transitions among the new states
+        for index, name in enumerate(names):
+            if draw(st.booleans()):
+                wcet = draw(st.sampled_from([None, 42]))
+                b._pending.append(
+                    (name, names[(index + 1) % len(names)], label_for(), wcet))
+
+    with b.or_state("Top"):
+        build_region("", 0)
+    return b.build(validate=False)
+
+
+class TestTextualRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(charts())
+    def test_structure_survives(self, chart):
+        text = emit_chart(chart)
+        again = parse_chart(text)
+        assert set(again.states) == set(chart.states)
+        for name, state in chart.states.items():
+            assert again.states[name].kind == state.kind
+            assert again.states[name].children == state.children
+            assert again.states[name].default == state.default
+        assert len(again.transitions) == len(chart.transitions)
+
+    @settings(max_examples=40, deadline=None)
+    @given(charts())
+    def test_labels_and_overrides_survive(self, chart):
+        again = parse_chart(emit_chart(chart))
+
+        def key(transition):
+            return (transition.source, transition.target, transition.action,
+                    transition.wcet_override, str(transition.trigger),
+                    str(transition.guard))
+
+        # transition declaration order may differ (the emitter walks the
+        # state tree), but the multiset of transitions must be identical
+        assert sorted(map(key, again.transitions)) == \
+            sorted(map(key, chart.transitions))
+
+    @settings(max_examples=25, deadline=None)
+    @given(charts(), st.lists(st.sets(st.sampled_from(EVENTS)), max_size=5))
+    def test_semantics_survive(self, chart, trace):
+        again = parse_chart(emit_chart(chart))
+        a = Interpreter(chart)
+        b = Interpreter(again)
+        for events in trace:
+            a.step(events)
+            b.step(events)
+            assert a.configuration == b.configuration
+
+    @settings(max_examples=25, deadline=None)
+    @given(charts())
+    def test_declarations_survive(self, chart):
+        again = parse_chart(emit_chart(chart))
+        assert {e.name: e.period for e in again.events.values()} == \
+            {e.name: e.period for e in chart.events.values()}
+        assert {c.name: c.initial for c in again.conditions.values()} == \
+            {c.name: c.initial for c in chart.conditions.values()}

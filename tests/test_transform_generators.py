@@ -1,0 +1,121 @@
+"""Tests for AST transforms (specialization) and synthetic generators."""
+
+import pytest
+
+from repro.action import check_program, parse_program
+from repro.action.transform import (
+    TransformError,
+    clone_function,
+    specialize_call,
+)
+from repro.flow import build_system, select_initial_architecture
+from repro.isa import MD16_TEP
+from repro.statechart import Interpreter
+from repro.workloads.generators import (
+    parallel_servers,
+    pipeline_chart,
+    wide_decoder,
+)
+
+
+class TestSpecializeCall:
+    def get_fn(self, src, name="f"):
+        program = parse_program(src)
+        check_program(program)
+        return program.function(name)
+
+    def test_constants_folded(self):
+        fn = self.get_fn("""
+        int:16 arr[4];
+        void f(int:16 m) { arr[m] = arr[m + 1] + m; }
+        """)
+        clone = specialize_call(fn, [2], "f_2")
+        assert clone.params == []
+        assert clone.name == "f_2"
+        # re-parseable into a checked program
+        program = parse_program("int:16 arr[4]; void g() { }")
+        program.functions.append(clone)
+        check_program(program)
+
+    def test_wrong_arity_rejected(self):
+        fn = self.get_fn("void f(int:16 a, int:16 b) { }")
+        with pytest.raises(TransformError, match="parameter"):
+            specialize_call(fn, [1], "f_1")
+
+    def test_assigned_parameter_rejected(self):
+        fn = self.get_fn("int:16 g; void f(int:16 m) { m = m + 1; g = m; }")
+        with pytest.raises(TransformError, match="assigned"):
+            specialize_call(fn, [3], "f_3")
+
+    def test_clone_is_deep(self):
+        fn = self.get_fn("int:16 g; void f(int:16 m) { if (m > 1) { g = m; } }")
+        clone = specialize_call(fn, [5], "f_5")
+        assert clone.body is not fn.body
+        assert clone.body[0] is not fn.body[0]
+
+    def test_wcet_override_carried(self):
+        fn = self.get_fn("void f(int:16 m) @wcet(99) { }")
+        assert specialize_call(fn, [1], "f_1").wcet_override == 99
+
+    def test_plain_clone(self):
+        fn = self.get_fn("void f(int:16 m) { int:16 t; t = m; }")
+        clone = clone_function(fn, "f2")
+        assert clone.name == "f2"
+        assert len(clone.params) == 1
+
+
+class TestGenerators:
+    def test_parallel_servers_structure(self):
+        chart, src = parallel_servers(4)
+        assert chart.states["Serving"].children == ["R0", "R1", "R2", "R3"]
+        assert len(chart.constrained_events()) == 4
+        # chart executes
+        interp = Interpreter(chart)
+        interp.step({"START"})
+        assert interp.in_state("Wait0") and interp.in_state("Wait3")
+
+    def test_parallel_servers_builds_and_validates(self):
+        chart, src = parallel_servers(3)
+        system = build_system(chart, src, MD16_TEP)
+        assert system.critical_paths()["REQ0"] > 0
+
+    def test_more_teps_shrink_parallel_critical_path(self):
+        chart, src = parallel_servers(4, work_iterations=10)
+        one = build_system(chart, src, MD16_TEP)
+        four = build_system(chart, src, MD16_TEP.with_(n_teps=4))
+        assert four.critical_paths()["REQ0"] < one.critical_paths()["REQ0"]
+
+    def test_pipeline_serial_little_tep_benefit(self):
+        chart, src = pipeline_chart(4)
+        one = build_system(chart, src, MD16_TEP)
+        two = build_system(chart, src, MD16_TEP.with_(n_teps=2))
+        # no parallel regions: identical critical paths
+        assert one.critical_paths()["FEED"] == two.critical_paths()["FEED"]
+
+    def test_pipeline_executes(self):
+        chart, src = pipeline_chart(3, work_iterations=2)
+        system = build_system(chart, src, MD16_TEP)
+        machine = system.make_machine()
+        machine.step({"FEED"})   # stage 0 runs, raises PASS1
+        machine.step()           # stage 1 consumes PASS1
+        machine.step()           # stage 2
+        assert machine.read_global("token") == 2 * 1 + 2 * 2 + 2 * 3
+
+    def test_wide_decoder_sla_grows(self):
+        small = build_system(*wide_decoder(4), MD16_TEP)
+        large = build_system(*wide_decoder(16), MD16_TEP)
+        assert large.pla.product_terms > small.pla.product_terms
+        assert large.pla.layout.width > small.pla.layout.width
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            parallel_servers(1)
+        with pytest.raises(ValueError):
+            pipeline_chart(1)
+        with pytest.raises(ValueError):
+            wide_decoder(0)
+
+    def test_initial_architecture_selection_on_generated(self):
+        chart, src = parallel_servers(2)
+        arch = select_initial_architecture(chart, src)
+        assert arch.data_width in (8, 16)

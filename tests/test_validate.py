@@ -1,0 +1,141 @@
+"""Tests for chart well-formedness checking and @-reference resolution."""
+
+import pytest
+
+from repro.statechart import (
+    Chart,
+    ChartBuilder,
+    ChartError,
+    Interpreter,
+    StateKind,
+    chart_problems,
+    parse_chart,
+    resolve_references,
+    validate_chart,
+)
+
+
+class TestProblems:
+    def test_clean_chart_has_no_problems(self):
+        b = ChartBuilder("ok")
+        b.event("E")
+        with b.or_state("Top", default="A"):
+            b.basic("A").transition("B", label="E")
+            b.basic("B")
+        assert chart_problems(b.build()) == []
+
+    def test_undeclared_signal_flagged(self):
+        chart = Chart("c")
+        chart.add_state("A")
+        chart.add_state("B")
+        from repro.statechart import parse_expr
+        chart.add_transition("A", "B", trigger=parse_expr("GHOST"))
+        problems = chart_problems(chart)
+        assert any("GHOST" in p for p in problems)
+
+    def test_and_state_needs_two_regions(self):
+        chart = Chart("c")
+        chart.add_state("W", StateKind.AND)
+        chart.add_state("R1", parent="W")
+        problems = chart_problems(chart)
+        assert any("region" in p for p in problems)
+
+    def test_basic_state_with_children_flagged(self):
+        chart = Chart("c")
+        chart.add_state("A", StateKind.BASIC)
+        chart.add_state("A1", parent="A")
+        assert any("must not contain" in p for p in chart_problems(chart))
+
+    def test_bad_default_flagged(self):
+        chart = Chart("c")
+        chart.add_state("A", StateKind.OR, default="Zed")
+        chart.add_state("A1", parent="A")
+        assert any("default" in p for p in chart_problems(chart))
+
+    def test_ref_without_target_flagged(self):
+        chart = Chart("c")
+        chart.add_state("R", StateKind.REF)
+        assert any("refers to no chart" in p for p in chart_problems(chart))
+
+    def test_transition_to_root_flagged(self):
+        chart = Chart("c")
+        chart.add_state("A")
+        chart.add_transition("A", chart.root)
+        assert any("root" in p for p in chart_problems(chart))
+
+    def test_nonpositive_period_flagged(self):
+        chart = Chart("c")
+        chart.add_state("A")
+        chart.add_event("E", period=0)
+        assert any("period" in p for p in chart_problems(chart))
+
+    def test_undeclared_event_port_flagged(self):
+        chart = Chart("c")
+        chart.add_state("A")
+        chart.add_event("E", port="P_MISSING")
+        assert any("P_MISSING" in p for p in chart_problems(chart))
+
+    def test_validate_raises_with_all_problems(self):
+        chart = Chart("c")
+        chart.add_state("W", StateKind.AND)
+        chart.add_state("R1", parent="W")
+        chart.add_event("E", period=-1)
+        with pytest.raises(ChartError) as excinfo:
+            validate_chart(chart)
+        message = str(excinfo.value)
+        assert "region" in message and "period" in message
+
+
+class TestReferenceResolution:
+    def make_motor_chart(self):
+        b = ChartBuilder("Motor")
+        b.event("PULSE").event("STEPS")
+        with b.or_state("Cycle", default="Start"):
+            b.basic("Start").transition("Run", label="/StartMotor(M)")
+            b.basic("Run").transition("End", label="STEPS/SetTrue(F)")
+            b.basic("End")
+        return b.build(validate=False)
+
+    def make_top_chart(self):
+        text = """
+        event GO;
+        orstate Top { contains Idle, MoveX; default Idle; }
+        basicstate Idle { transition { target MoveX; label "GO"; } }
+        refstate MoveX { refers Motor; }
+        """
+        return parse_chart(text, name="Top")
+
+    def test_resolution_inlines_subchart(self):
+        top = self.make_top_chart()
+        resolve_references(top, {"Motor": self.make_motor_chart()})
+        assert top.states["MoveX"].kind is StateKind.OR
+        assert "Cycle" in top.states
+        assert top.states["Cycle"].parent == "MoveX"
+        assert {"Start", "Run", "End"} <= set(top.states)
+
+    def test_resolution_copies_transitions_and_events(self):
+        top = self.make_top_chart()
+        resolve_references(top, {"Motor": self.make_motor_chart()})
+        sources = {t.source for t in top.transitions}
+        assert {"Start", "Run"} <= sources
+        assert "PULSE" in top.events and "STEPS" in top.events
+
+    def test_resolved_chart_is_executable(self):
+        top = self.make_top_chart()
+        resolve_references(top, {"Motor": self.make_motor_chart()})
+        validate_chart(top)
+        interp = Interpreter(top)
+        interp.step({"GO"})
+        assert "MoveX" in interp.configuration
+        assert "Start" in interp.configuration
+
+    def test_name_clash_disambiguated(self):
+        top = self.make_top_chart()
+        top.add_state("Start")  # clashes with the subchart's "Start"
+        resolve_references(top, {"Motor": self.make_motor_chart()})
+        assert "MoveX.Start" in top.states
+
+    def test_missing_library_entry_rejected(self):
+        top = self.make_top_chart()
+        with pytest.raises(ChartError):
+            resolve_references(top, {})
