@@ -1,0 +1,188 @@
+chart smd_pickup_head;
+
+event POWER;
+event INIT;
+event ALLRESET;
+event ERROR;
+event DATA_VALID period 1500 port PE_DATA;
+event END_DATA;
+event BUF_EMPTY;
+event X_PULSE period 300 port PE_XPULSE;
+event Y_PULSE period 300 port PE_YPULSE;
+event PHI_PULSE period 1600 port PE_PHIPULSE;
+event X_STEPS;
+event Y_STEPS;
+event PHI_STEPS;
+event END_MOVE;
+event GRAB_RELEASE;
+condition MOVEMENT;
+condition XFINISH;
+condition YFINISH;
+condition PHIFINISH;
+port PE_DATA : event width 1 address 448 in;
+port PE_XPULSE : event width 1 address 449 in;
+port PE_YPULSE : event width 1 address 450 in;
+port PE_PHIPULSE : event width 1 address 451 in;
+port CE0 : condition width 1 address 458 inout;
+port Buffer : data width 8 address 463 inout;
+port Status : data width 8 address 464 out;
+port XMotor : data width 8 address 465 out;
+port YMotor : data width 8 address 466 out;
+port PhiMotor : data width 8 address 467 out;
+
+orstate Assembly {
+  contains Off, Idle1, Operation, Errstate;
+  default Off;
+}
+basicstate Off {
+  transition {
+    target Idle1;
+    label "POWER";
+  }
+}
+basicstate Idle1 {
+  transition {
+    target Operation;
+    label "[DATA_VALID]/GetByte()";
+  }
+}
+andstate Operation {
+  contains DataPreparation, ReachPosition;
+  transition {
+    target Idle1;
+    label "INIT or ALLRESET/InitializeAll()";
+  }
+  transition {
+    target Errstate;
+    label "ERROR/Stop()";
+  }
+}
+orstate DataPreparation {
+  contains OpcodeReady, EmptyBuf, Bounds, NoData;
+  default OpcodeReady;
+}
+basicstate OpcodeReady {
+  transition {
+    target OpcodeReady;
+    label "[DATA_VALID]/DecodeOpcode()";
+  }
+  transition {
+    target EmptyBuf;
+    label "END_DATA/PrepareMove()";
+  }
+}
+basicstate EmptyBuf {
+  transition {
+    target Idle1;
+    label "BUF_EMPTY/RequestData()";
+  }
+  transition {
+    target Bounds;
+    label "not (X_PULSE or Y_PULSE)/PhiParameters()";
+  }
+}
+basicstate Bounds {
+  transition {
+    target Idle1;
+    label "not (X_PULSE or Y_PULSE) [not MOVEMENT]/AbortMove()";
+  }
+  transition {
+    target NoData;
+    label "not (X_PULSE or Y_PULSE) [MOVEMENT]/StartMove()";
+  }
+}
+basicstate NoData {
+  transition {
+    target OpcodeReady;
+    label "[DATA_VALID]/LoadNext()";
+  }
+}
+orstate ReachPosition {
+  contains Idle2, Moving;
+  default Idle2;
+}
+basicstate Idle2 {
+  transition {
+    target Moving;
+    label "[MOVEMENT]";
+  }
+}
+andstate Moving {
+  contains MoveX, MoveY, MovePhi;
+  transition {
+    target Idle2;
+    label "END_MOVE [XFINISH and YFINISH and PHIFINISH]/FinishMove()";
+  }
+}
+orstate MoveX {
+  contains XStart2, RunX, XEnd2;
+  default XStart2;
+}
+basicstate XStart2 {
+  transition {
+    target RunX;
+    label "/StartMotor(MX, XPARAMS)";
+  }
+}
+basicstate RunX {
+  transition {
+    target RunX;
+    label "X_PULSE/DeltaT(MX)";
+  }
+  transition {
+    target XEnd2;
+    label "X_STEPS/SetTrue(XFINISH)";
+  }
+}
+basicstate XEnd2 {
+}
+orstate MoveY {
+  contains YStart2, RunY, YEnd2;
+  default YStart2;
+}
+basicstate YStart2 {
+  transition {
+    target RunY;
+    label "/StartMotor(MY, YPARAMS)";
+  }
+}
+basicstate RunY {
+  transition {
+    target RunY;
+    label "Y_PULSE/DeltaT(MY)";
+  }
+  transition {
+    target YEnd2;
+    label "Y_STEPS/SetTrue(YFINISH)";
+  }
+}
+basicstate YEnd2 {
+}
+orstate MovePhi {
+  contains PhiStart, RunPhi, PhiEnd;
+  default PhiStart;
+}
+basicstate PhiStart {
+  transition {
+    target RunPhi;
+    label "/StartMotor(MPHI, PHIPARAMS)";
+  }
+}
+basicstate RunPhi {
+  transition {
+    target RunPhi;
+    label "PHI_PULSE/DeltaT(MPHI)";
+  }
+  transition {
+    target PhiEnd;
+    label "PHI_STEPS/SetTrue(PHIFINISH)";
+  }
+}
+basicstate PhiEnd {
+}
+basicstate Errstate {
+  transition {
+    target Idle1;
+    label "INIT or ALLRESET/InitializeAll()";
+  }
+}

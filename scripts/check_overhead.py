@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Tracing-overhead guard for the closed-loop benchmark.
+
+Runs the bench_closed_loop workload (the paper's final architecture against
+the fast-motor physics) with tracing *disabled* and compares it against the
+recorded baseline in ``scripts/overhead_baseline.json``:
+
+* **determinism** (always checked): total reference-clock cycles,
+  configuration cycles and final motor positions must match the baseline
+  exactly — the observability hooks must not perturb the simulation;
+* **wall clock** (checked only when the environment fingerprint matches the
+  baseline's): the best-of-N run time must not regress more than
+  ``--threshold`` (default 5%) over the baseline.
+
+It also measures the tracing-*enabled* run and reports its overhead over
+disabled, warning when it exceeds the same threshold (informational: the
+enabled path is allowed to cost something, the disabled path is not).
+
+Refresh the baseline after an intended simulator change::
+
+    PYTHONPATH=src python scripts/check_overhead.py --update
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.flow import build_system
+from repro.isa import MD16_TEP
+from repro.obs import Tracer
+from repro.workloads import (
+    MoveCommand,
+    SMD_MUTUAL_EXCLUSIONS,
+    SMD_ROUTINES,
+    SmdClosedLoop,
+    smd_chart,
+)
+from repro.workloads.motors import MotorSpec
+
+BASELINE_PATH = Path(__file__).with_name("overhead_baseline.json")
+
+# mirror benchmarks/bench_closed_loop.py exactly
+FAST_MOTORS = {
+    "X": MotorSpec("X", 50_000.0, 0.025e-3, 1.25, 2000.0),
+    "Y": MotorSpec("Y", 50_000.0, 0.025e-3, 1.25, 2000.0),
+    "Phi": MotorSpec("Phi", 9_000.0, 0.1, 900.0, 0.0),
+}
+COMMANDS = [MoveCommand(60, 45, 8), MoveCommand(25, 30, 4)]
+
+
+def fingerprint():
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def build_final_system():
+    arch = MD16_TEP.with_(n_teps=2, microcode_optimized=True,
+                          mutual_exclusions=SMD_MUTUAL_EXCLUSIONS)
+    return build_system(smd_chart(), SMD_ROUTINES, arch, specialize=True)
+
+
+def run_once(system, tracer=None):
+    loop = SmdClosedLoop(system, motor_specs=FAST_MOTORS, tracer=tracer)
+    started = time.perf_counter()
+    report = loop.run(COMMANDS, max_configuration_cycles=40000)
+    elapsed = time.perf_counter() - started
+    return elapsed, report
+
+
+def measure_interleaved(system, rounds):
+    """Alternate disabled/enabled rounds so machine-load drift hits both
+    measurements equally; returns (disabled_best, enabled_best, reports)."""
+    disabled, enabled = [], []
+    disabled_report = enabled_report = None
+    for _ in range(rounds):
+        elapsed, disabled_report = run_once(system)
+        disabled.append(elapsed)
+        elapsed, enabled_report = run_once(system, Tracer())
+        enabled.append(elapsed)
+    return min(disabled), min(enabled), disabled_report, enabled_report
+
+
+def determinism_record(report):
+    return {
+        "total_cycles": report.total_cycles,
+        "configuration_cycles": report.configuration_cycles,
+        "final_positions": report.final_positions,
+        "commands_completed": report.commands_completed,
+        "misses": sum(d.misses for d in report.deadline_reports),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="record the current run as the new baseline")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds (best-of is compared)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="allowed wall-clock regression fraction")
+    args = parser.parse_args(argv)
+
+    print("building the final SMD architecture ...")
+    system = build_final_system()
+
+    print(f"timing disabled/enabled interleaved ({args.rounds} rounds "
+          "each) ...")
+    run_once(system)  # warm caches before timing anything
+    best, traced_best, report, traced_report = measure_interleaved(
+        system, args.rounds)
+    record = determinism_record(report)
+    print(f"  disabled best {best * 1e3:.1f} ms, "
+          f"{record['total_cycles']} cycles")
+    overhead = (traced_best - best) / best if best else 0.0
+    print(f"  enabled  best {traced_best * 1e3:.1f} ms "
+          f"({overhead * 100:+.1f}% vs disabled)")
+
+    if determinism_record(traced_report) != record:
+        print("FAIL: tracing-enabled run diverged from disabled run")
+        return 1
+    if overhead > args.threshold:
+        print(f"warning: tracing-enabled overhead {overhead * 100:.1f}% "
+              f"exceeds {args.threshold * 100:.0f}% target")
+
+    if args.update or not BASELINE_PATH.exists():
+        baseline = {
+            "fingerprint": fingerprint(),
+            "wall_seconds_best": best,
+            "determinism": record,
+            "rounds": args.rounds,
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    if record != baseline["determinism"]:
+        print("FAIL: simulation diverged from the recorded baseline:")
+        for key, expected in baseline["determinism"].items():
+            if record.get(key) != expected:
+                print(f"  {key}: expected {expected}, got {record.get(key)}")
+        print("(if the change is intended, re-record with --update)")
+        return 1
+    print("determinism: OK (cycles and positions match the baseline)")
+
+    if fingerprint() != baseline["fingerprint"]:
+        print("environment differs from the baseline's; skipping the "
+              "wall-clock comparison")
+        return 0
+
+    allowed = baseline["wall_seconds_best"] * (1.0 + args.threshold)
+    ratio = best / baseline["wall_seconds_best"]
+    if best > allowed:
+        print(f"FAIL: tracing-disabled run regressed: {best * 1e3:.1f} ms "
+              f"vs baseline {baseline['wall_seconds_best'] * 1e3:.1f} ms "
+              f"({(ratio - 1) * 100:+.1f}%, allowed "
+              f"{args.threshold * 100:.0f}%)")
+        print("(if the change is intended, re-record with --update)")
+        return 1
+    print(f"wall clock: OK ({(ratio - 1) * 100:+.1f}% vs baseline, "
+          f"allowed {args.threshold * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,18 +16,32 @@ Usage::
     --emit blif|vhdl|asm|dot     write generated artifacts to stdout
     --floorplan                  print the CLB floorplan
     --json                       machine-readable summary
+
+Observability subcommands (see docs/OBSERVABILITY.md)::
+
+    python -m repro trace PROJECT [--out trace.json] [--cycles N] ...
+    python -m repro stats PROJECT [--json] [--cycles N] ...
+
+``PROJECT`` is either a directory holding one ``*.sc`` chart and one
+``*.c`` routine file (e.g. ``examples/smd``) or an explicit
+``CHART.sc ROUTINES.c`` pair.  ``trace`` simulates the compiled system and
+writes Chrome trace-event JSON — open it at https://ui.perfetto.dev —
+with one track per TEP plus the SLA, scheduler and condition-cache bus;
+``stats`` runs the same simulation and prints the metrics registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.flow import (
     Improver,
     build_system,
+    improvement_profile_report,
     select_initial_architecture,
     table2_report,
     table3_report,
@@ -47,7 +61,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     parser.add_argument("routines", help="intermediate-C routine file")
     parser.add_argument("--arch", choices=sorted(_ARCHS),
                         help="starting architecture (default: auto-select)")
-    parser.add_argument("--teps", type=int, default=None,
+    parser.add_argument("--teps", type=_positive_int, default=None,
                         help="override the number of TEPs")
     parser.add_argument("--optimize", action="store_true",
                         help="apply microcode peephole + specialization")
@@ -63,7 +77,234 @@ def build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# ---------------------------------------------------------------------------
+# observability subcommands: repro trace / repro stats
+# ---------------------------------------------------------------------------
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _sim_argument_parser(prog: str, description: str
+                         ) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("project",
+                        help="project directory (one *.sc + one *.c) or a "
+                             "chart file followed by a routine file")
+    parser.add_argument("routines", nargs="?", default=None,
+                        help="routine file (when PROJECT is a chart file)")
+    parser.add_argument("--cycles", type=_positive_int, default=None,
+                        help="configuration cycles to simulate")
+    parser.add_argument("--arch", choices=sorted(_ARCHS),
+                        help="architecture (default: auto-select)")
+    parser.add_argument("--teps", type=_positive_int, default=None,
+                        help="number of TEPs (default: 2 for the SMD chart)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="peephole + constant-argument specialization")
+    return parser
+
+
+def _load_sources(project: str, routines: Optional[str]
+                  ) -> Tuple[str, str]:
+    """Resolve (chart text, routine text) from a directory or a file pair."""
+    if os.path.isdir(project):
+        charts = sorted(name for name in os.listdir(project)
+                        if name.endswith(".sc"))
+        sources = sorted(name for name in os.listdir(project)
+                         if name.endswith(".c"))
+        if len(charts) != 1 or len(sources) != 1:
+            raise OSError(
+                f"{project}: expected exactly one *.sc and one *.c file, "
+                f"found {charts or 'no charts'} / {sources or 'no routines'}")
+        chart_path = os.path.join(project, charts[0])
+        routine_path = os.path.join(project, sources[0])
+    else:
+        if routines is None:
+            raise OSError(
+                f"{project} is not a directory; pass the routine file too")
+        chart_path, routine_path = project, routines
+    with open(chart_path) as handle:
+        chart_text = handle.read()
+    with open(routine_path) as handle:
+        routine_text = handle.read()
+    return chart_text, routine_text
+
+
+def _build_for_simulation(chart, routine_text: str, args):
+    """Build the system a trace/stats run simulates.
+
+    The SMD chart defaults to the paper's final architecture (two 16-bit
+    M/D TEPs, optimized code, declared mutual exclusions) so the per-TEP
+    tracks show real parallelism; other charts default to the auto-selected
+    architecture.
+    """
+    is_smd = chart.name == "smd_pickup_head"
+    if args.arch is not None:
+        arch = _ARCHS[args.arch]
+    elif is_smd:
+        arch = MD16_TEP
+    else:
+        arch = select_initial_architecture(chart, routine_text)
+    teps = args.teps if args.teps is not None else (2 if is_smd else 1)
+    exclusions = frozenset()
+    if is_smd and teps > 1:
+        from repro.workloads import SMD_MUTUAL_EXCLUSIONS
+        exclusions = SMD_MUTUAL_EXCLUSIONS
+    optimize = args.optimize or is_smd
+    arch = arch.with_(n_teps=teps, mutual_exclusions=exclusions,
+                      microcode_optimized=optimize)
+    return build_system(chart, routine_text, arch, specialize=optimize)
+
+
+def _simulate(system, cycles: Optional[int], tracer, metrics):
+    """Drive the built system and return (configuration cycles, report).
+
+    The SMD chart runs in its closed loop against the motor physics; any
+    other chart gets a generic stimulus: every constrained event arrives at
+    its declared period (other events round-robin when the chart declares no
+    constraints).
+    """
+    if system.chart.name == "smd_pickup_head":
+        from repro.workloads import MoveCommand, MotorSpec, SmdClosedLoop
+        motors = {
+            "X": MotorSpec("X", 50_000.0, 0.025e-3, 1.25, 2000.0),
+            "Y": MotorSpec("Y", 50_000.0, 0.025e-3, 1.25, 2000.0),
+            "Phi": MotorSpec("Phi", 9_000.0, 0.1, 900.0, 0.0),
+        }
+        loop = SmdClosedLoop(system, motor_specs=motors, tracer=tracer,
+                             metrics=metrics)
+        report = loop.run([MoveCommand(60, 45, 8)],
+                          max_configuration_cycles=cycles or 20000)
+        return loop.machine, report
+    from repro.pscp.trace import DeadlineMonitor
+
+    machine = system.make_machine()
+    if tracer is not None:
+        machine.attach_tracer(tracer)
+    monitor = DeadlineMonitor(system.chart)
+    constrained = sorted(monitor.periods)
+    next_arrival = {event: 0 for event in constrained}
+    all_events = sorted(system.chart.events)
+    total = cycles or 500
+    for index in range(total):
+        due = set()
+        for event in constrained:
+            if next_arrival[event] <= machine.time:
+                due.add(event)
+                monitor.arrival(event, machine.time)
+                next_arrival[event] = machine.time + monitor.periods[event]
+        if not constrained and all_events:
+            due.add(all_events[index % len(all_events)])
+        monitor.observe(machine.step(due))
+    machine.flush_trace()
+    if metrics is not None:
+        monitor.publish(metrics)
+        metrics.counter("machine.configuration_cycles").value = \
+            machine.cycle_count
+        metrics.counter("machine.reference_cycles").value = machine.time
+    return machine, None
+
+
+def run_trace(argv: List[str], out=sys.stdout) -> int:
+    """``repro trace``: simulate and export a Perfetto-loadable trace."""
+    parser = _sim_argument_parser(
+        "repro trace",
+        "simulate the compiled system and write Chrome trace-event JSON")
+    parser.add_argument("--out", default="trace.json",
+                        help="output path (default: trace.json)")
+    parser.add_argument("--summary", action="store_true",
+                        help="also print the plain-text trace summary")
+    args = parser.parse_args(argv)
+
+    from repro.obs import MetricsRegistry, Tracer, trace_summary, \
+        write_chrome_trace
+
+    try:
+        chart_text, routine_text = _load_sources(args.project, args.routines)
+        # fail on an unwritable destination now, not after the simulation
+        with open(args.out, "a"):
+            pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chart = parse_chart(chart_text)
+    system = _build_for_simulation(chart, routine_text, args)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    machine, _report = _simulate(system, args.cycles, tracer, metrics)
+    write_chrome_trace(tracer, args.out, metrics)
+    print(f"wrote {args.out}: {len(tracer.events)} trace events on "
+          f"{len(tracer.track_names)} tracks "
+          f"({machine.cycle_count} configuration cycles, "
+          f"{machine.time} reference cycles, "
+          f"architecture {system.arch.describe()})", file=out)
+    if args.summary:
+        print(file=out)
+        print(trace_summary(tracer, metrics), file=out)
+    return 0
+
+
+def run_stats(argv: List[str], out=sys.stdout) -> int:
+    """``repro stats``: simulate and print the metrics registry."""
+    parser = _sim_argument_parser(
+        "repro stats",
+        "simulate the compiled system and report runtime metrics")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable metrics dump")
+    args = parser.parse_args(argv)
+
+    from repro.flow import ascii_table
+    from repro.obs import MetricsRegistry, metrics_summary
+
+    try:
+        chart_text, routine_text = _load_sources(args.project, args.routines)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chart = parse_chart(chart_text)
+    system = _build_for_simulation(chart, routine_text, args)
+    metrics = MetricsRegistry()
+    machine, report = _simulate(system, args.cycles, None, metrics)
+    if args.json:
+        document = {
+            "chart": chart.name,
+            "architecture": system.arch.describe(),
+            "configuration_cycles": machine.cycle_count,
+            "reference_cycles": machine.time,
+            "metrics": metrics.collect(),
+        }
+        if report is not None:
+            document["deadlines"] = [
+                {"event": d.event, "period": d.period,
+                 "arrivals": d.arrivals, "consumed": d.consumed,
+                 "worst_latency": d.worst_latency, "misses": d.misses}
+                for d in report.deadline_reports]
+        json.dump(document, out, indent=2)
+        print(file=out)
+        return 0
+    print(f"chart {chart.name!r} on {system.arch.describe()}: "
+          f"{machine.cycle_count} configuration cycles, "
+          f"{machine.time} reference cycles", file=out)
+    if report is not None:
+        rows = [(d.event, d.period, d.worst_latency, d.misses)
+                for d in report.deadline_reports]
+        print(file=out)
+        print(ascii_table(["Event", "Period", "Worst latency", "Misses"],
+                          rows, title="Deadlines"), file=out)
+    print(file=out)
+    print(metrics_summary(metrics), file=out)
+    return 0
+
+
 def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        return run_trace(argv[1:], out)
+    if argv and argv[0] == "stats":
+        return run_stats(argv[1:], out)
     args = build_argument_parser().parse_args(argv)
 
     try:
@@ -77,15 +318,19 @@ def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
 
     chart = parse_chart(chart_text)
 
+    improvement_profile = None
     if args.improve:
         improver = Improver(chart, routine_text)
         result = improver.run()
         system = result.final
+        improvement_profile = result.profile
         if not args.json:
             print("improvement trajectory:", file=out)
             for step in result.steps:
                 print(f"  {step.rung:20s} area {step.area_clbs:5d} "
                       f"violations {step.n_violations}", file=out)
+            print(file=out)
+            print(improvement_profile_report(improvement_profile), file=out)
     else:
         if args.arch is not None:
             arch = _ARCHS[args.arch]
@@ -112,6 +357,8 @@ def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                               for name, wcet in system.routine_wcets().items()
                               if not name.startswith("__")},
         }
+        if improvement_profile is not None:
+            summary["improvement_profile"] = improvement_profile.to_json()
         json.dump(summary, out, indent=2)
         print(file=out)
     else:

@@ -21,6 +21,7 @@ from repro.flow.report import (
     architecture_figure,
     ascii_table,
     comparison_table,
+    improvement_profile_report,
     table1_report,
     table2_report,
     table3_report,
@@ -37,7 +38,8 @@ __all__ = [
     "BuiltSystem", "EventCycle", "ImprovementResult", "Improver",
     "LadderStep", "TimingValidator", "TimingViolation",
     "architecture_figure", "ascii_table", "build_system",
-    "comparison_table", "hot_globals", "lpt_makespan",
+    "comparison_table", "hot_globals", "improvement_profile_report",
+    "lpt_makespan",
     "select_initial_architecture", "table1_report", "table2_report",
     "table3_report", "table4_report", "transition_cost_map",
 ]

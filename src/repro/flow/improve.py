@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.hw.library import custom_instruction_is_safe
 from repro.isa.arch import ArchConfig, StorageClass
 from repro.isa.isa import Mem, Reg
+from repro.obs.flowprof import FlowProfile
 from repro.isa.patterns import (
     find_comparator_sites,
     find_custom_candidates,
@@ -61,6 +62,9 @@ class LadderStep:
 class ImprovementResult:
     steps: List[LadderStep]
     final: BuiltSystem
+    #: per-rung wall-clock/area/timing deltas (the Table 4 trajectory as
+    #: structured data; see :mod:`repro.obs.flowprof`)
+    profile: Optional[FlowProfile] = None
 
     @property
     def success(self) -> bool:
@@ -122,11 +126,14 @@ class Improver:
         self.max_custom_instructions = max_custom_instructions
         self.register_file_size = register_file_size
         self.allow_pipelining = allow_pipelining
+        #: per-rung profile of the most recent :meth:`run`
+        self.profile = FlowProfile()
 
     # ------------------------------------------------------------------
     def _evaluate(self, rung: str, description: str, arch: ArchConfig,
                   storage_map: Dict[str, StorageClass]
                   ) -> Tuple[BuiltSystem, LadderStep]:
+        started = self.profile.begin()
         system = build_system(self.chart, self.source, arch,
                               storage_map=storage_map)
         step = LadderStep(
@@ -138,9 +145,16 @@ class Improver:
             n_violations=len(system.violations()),
             area_clbs=system.area().total_clbs,
         )
+        self.profile.record(rung, description, started, step.area_clbs,
+                            step.n_violations, step.critical_paths)
         return system, step
 
+    def _result(self, steps: List[LadderStep],
+                system: BuiltSystem) -> ImprovementResult:
+        return ImprovementResult(steps, system, profile=self.profile)
+
     def run(self) -> ImprovementResult:
+        self.profile = FlowProfile()
         steps: List[LadderStep] = []
         arch = self.initial_arch
         storage_map: Dict[str, StorageClass] = {}
@@ -150,7 +164,7 @@ class Improver:
             arch, storage_map)
         steps.append(step)
         if step.meets_constraints:
-            return ImprovementResult(steps, system)
+            return self._result(steps, system)
 
         # 1. microcode peephole
         arch = arch.with_(microcode_optimized=True)
@@ -159,7 +173,7 @@ class Improver:
             arch, storage_map)
         steps.append(step)
         if step.meets_constraints:
-            return ImprovementResult(steps, system)
+            return self._result(steps, system)
 
         # 2a. storage promotion: externals -> internal RAM
         promoted = hot_globals(system)
@@ -170,7 +184,7 @@ class Improver:
             arch, storage_map)
         steps.append(step)
         if step.meets_constraints:
-            return ImprovementResult(steps, system)
+            return self._result(steps, system)
 
         # 2b. storage promotion: hottest variables -> registers
         arch = arch.with_(register_file_size=self.register_file_size)
@@ -183,7 +197,7 @@ class Improver:
             arch, storage_map)
         steps.append(step)
         if step.meets_constraints:
-            return ImprovementResult(steps, system)
+            return self._result(steps, system)
 
         # 3. pattern-matched hardware
         pattern_flags = {}
@@ -199,7 +213,7 @@ class Improver:
                 arch, storage_map)
             steps.append(step)
             if step.meets_constraints:
-                return ImprovementResult(steps, system)
+                return self._result(steps, system)
 
         # 4. custom instructions
         candidates = find_custom_candidates(
@@ -220,7 +234,7 @@ class Improver:
                 arch, storage_map)
             steps.append(step)
             if step.meets_constraints:
-                return ImprovementResult(steps, system)
+                return self._result(steps, system)
 
         # 4b. pipelined TEP (the paper's "future work", opt-in)
         if self.allow_pipelining and not arch.pipelined:
@@ -230,7 +244,7 @@ class Improver:
                 "control transfers)", arch, storage_map)
             steps.append(step)
             if step.meets_constraints:
-                return ImprovementResult(steps, system)
+                return self._result(steps, system)
 
         # 5. wider data bus
         if arch.data_width < 16:
@@ -241,7 +255,7 @@ class Improver:
                 arch, storage_map)
             steps.append(step)
             if step.meets_constraints:
-                return ImprovementResult(steps, system)
+                return self._result(steps, system)
 
         # 6. more TEPs (the last resort)
         while arch.n_teps < self.max_teps:
@@ -254,6 +268,6 @@ class Improver:
                 arch, storage_map)
             steps.append(step)
             if step.meets_constraints:
-                return ImprovementResult(steps, system)
+                return self._result(steps, system)
 
-        return ImprovementResult(steps, system)
+        return self._result(steps, system)

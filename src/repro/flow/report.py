@@ -73,6 +73,18 @@ def table4_report(rows: Sequence[Tuple[str, int, int, int]]) -> str:
         rows, title="Table 4: Area and Timing Results")
 
 
+def improvement_profile_report(profile) -> str:
+    """The improvement ladder's per-rung profile
+    (:class:`repro.obs.FlowProfile`) as a table: area trajectory, deltas,
+    remaining violations and the wall-clock cost of each rebuild."""
+    table = ascii_table(
+        ["Rung", "Area", "ΔArea", "Violations", "Wall ms"], profile.rows(),
+        title="Improvement ladder profile")
+    return (f"{table}\n"
+            f"total rebuild time {profile.total_wall_seconds * 1e3:.1f} ms "
+            f"over {len(profile.rungs)} rung(s)")
+
+
 def comparison_table(title: str,
                      rows: Sequence[Tuple[str, object, object]],
                      value_names: Tuple[str, str] = ("paper", "measured")

@@ -1,0 +1,40 @@
+"""Observability: structured tracing, metrics, and exporters.
+
+The measurement layer above the cycle-exact simulator::
+
+    from repro.obs import Tracer, MetricsRegistry, write_chrome_trace
+
+    tracer = Tracer()
+    machine.attach_tracer(tracer)
+    machine.run(stimulus)
+    write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+
+Design rule: instrumented components hold a ``tracer`` attribute that is
+``None`` by default and every hook is guarded by ``if tracer is not None``,
+so the disabled path allocates nothing and benchmark numbers are
+byte-identical with tracing off.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_summary,
+    trace_summary,
+    write_chrome_trace,
+)
+from repro.obs.flowprof import FlowProfile, RungProfile
+from repro.obs.metrics import (
+    DEFAULT_CYCLE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
+
+__all__ = [
+    "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FlowProfile", "Gauge",
+    "Histogram", "INSTANT", "MetricsRegistry", "RungProfile", "SPAN",
+    "Tracer", "chrome_trace", "chrome_trace_events", "metrics_summary",
+    "trace_summary", "write_chrome_trace",
+]

@@ -1,0 +1,125 @@
+"""Trace and metrics exporters.
+
+Two consumers:
+
+* **Perfetto / chrome://tracing** — :func:`chrome_trace` renders a
+  :class:`~repro.obs.tracer.Tracer`'s event stream as Chrome trace-event
+  JSON (the ``{"traceEvents": [...]}`` object format).  Each tracer track
+  becomes a named thread under one "PSCP machine" process, so the TEPs, the
+  SLA, the scheduler and the condition-cache bus appear as parallel swim
+  lanes.  One reference-clock cycle maps to one microsecond of trace time.
+
+* **terminals** — :func:`trace_summary` aggregates the same stream into the
+  plain-text table style of :mod:`repro.flow.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
+
+#: the single trace-event process all tracks live under
+TRACE_PID = 1
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The tracer's events in Chrome trace-event form (list of dicts)."""
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+        "args": {"name": "PSCP machine"},
+    }]
+    for track_id, track_name in enumerate(tracer.track_names):
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": TRACE_PID,
+            "tid": track_id, "args": {"name": track_name}})
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+            "tid": track_id, "args": {"sort_index": track_id}})
+    for kind, track_id, name, ts, dur, args in tracer.events:
+        if kind == SPAN:
+            event = {"ph": "X", "name": name, "pid": TRACE_PID,
+                     "tid": track_id, "ts": ts, "dur": dur}
+        elif kind == INSTANT:
+            event = {"ph": "i", "name": name, "pid": TRACE_PID,
+                     "tid": track_id, "ts": ts, "s": "t"}
+        elif kind == COUNTER:
+            event = {"ph": "C", "name": name, "pid": TRACE_PID,
+                     "tid": track_id, "ts": ts, "args": {name: dur}}
+        else:  # pragma: no cover - tracer only emits the three kinds
+            continue
+        if args:
+            event.setdefault("args", {}).update(args)
+        events.append(event)
+    return events
+
+
+def chrome_trace(tracer: Tracer,
+                 metrics: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """The full trace JSON object (``traceEvents`` + metadata)."""
+    document: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": dict(tracer.metadata),
+    }
+    if metrics is not None:
+        document["otherData"]["metrics"] = metrics.collect()
+    return document
+
+
+def write_chrome_trace(tracer: Tracer, destination: Union[str, IO[str]],
+                       metrics: Optional[MetricsRegistry] = None) -> None:
+    """Serialize :func:`chrome_trace` to a path or file object."""
+    document = chrome_trace(tracer, metrics)
+    if hasattr(destination, "write"):
+        json.dump(document, destination)
+    else:
+        with open(destination, "w") as handle:
+            json.dump(document, handle)
+
+
+def trace_summary(tracer: Tracer,
+                  metrics: Optional[MetricsRegistry] = None) -> str:
+    """Plain-text roll-up: per-track span totals, busiest span names, and
+    (when given) the metrics registry."""
+    from repro.flow.report import ascii_table  # deferred: avoids a cycle
+    # through repro.flow.__init__, which imports modules that use repro.obs
+
+    per_track: Dict[int, List[int]] = {}
+    per_name: Dict[str, List[int]] = {}
+    instants = 0
+    for kind, track_id, name, _ts, dur, _args in tracer.events:
+        if kind == SPAN:
+            per_track.setdefault(track_id, [0, 0])
+            per_name.setdefault(name, [0, 0])
+            for bucket in (per_track[track_id], per_name[name]):
+                bucket[0] += 1
+                bucket[1] += dur
+        elif kind == INSTANT:
+            instants += 1
+
+    parts: List[str] = []
+    track_rows = [
+        (tracer.track_names[track_id], count, cycles)
+        for track_id, (count, cycles) in sorted(per_track.items())]
+    parts.append(ascii_table(["Track", "Spans", "Busy cycles"], track_rows,
+                             title="Trace summary (per track)"))
+    name_rows = sorted(per_name.items(), key=lambda item: -item[1][1])[:12]
+    parts.append(ascii_table(
+        ["Span", "Count", "Total cycles"],
+        [(name, count, cycles) for name, (count, cycles) in name_rows],
+        title="Busiest spans"))
+    parts.append(f"{len(tracer.events)} events total "
+                 f"({instants} instants) on {len(tracer.track_names)} tracks")
+    if metrics is not None:
+        parts.append(metrics_summary(metrics))
+    return "\n\n".join(parts)
+
+
+def metrics_summary(metrics: MetricsRegistry) -> str:
+    from repro.flow.report import ascii_table  # deferred (see trace_summary)
+
+    return ascii_table(["Metric", "Type", "Value"], metrics.summary_rows(),
+                       title="Metrics")

@@ -1,0 +1,97 @@
+"""Flow profiling: structured per-rung records of the improvement ladder.
+
+The iterative improvement loop (:mod:`repro.flow.improve`) walks the
+paper's optimization ladder, rebuilding and re-validating the system at
+every rung — exactly the trajectory Table 4 reports.  The profile captures
+that trajectory as *data*: for each rung, the wall-clock cost of the
+rebuild, the area and critical paths it produced, and the deltas against
+the previous rung.  ``repro CHART ROUTINES --improve --json`` and the flow
+reports render it; nothing here touches the simulated cycle counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class RungProfile:
+    """One evaluated rung of the ladder, with costs and deltas."""
+
+    rung: str
+    description: str
+    wall_seconds: float
+    area_clbs: int
+    n_violations: int
+    critical_paths: Dict[str, int]
+    area_delta: int
+    critical_path_deltas: Dict[str, int]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "rung": self.rung,
+            "description": self.description,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "area_clbs": self.area_clbs,
+            "n_violations": self.n_violations,
+            "critical_paths": dict(self.critical_paths),
+            "area_delta": self.area_delta,
+            "critical_path_deltas": dict(self.critical_path_deltas),
+        }
+
+
+class FlowProfile:
+    """Collects :class:`RungProfile` records during an improvement run."""
+
+    def __init__(self) -> None:
+        self.rungs: List[RungProfile] = []
+        self._clock = time.perf_counter
+
+    def begin(self) -> float:
+        """Timestamp the start of a rung evaluation."""
+        return self._clock()
+
+    def record(self, rung: str, description: str, started: float,
+               area_clbs: int, n_violations: int,
+               critical_paths: Dict[str, int]) -> RungProfile:
+        previous = self.rungs[-1] if self.rungs else None
+        area_delta = (area_clbs - previous.area_clbs) if previous else 0
+        path_deltas = {
+            event: length - previous.critical_paths.get(event, length)
+            for event, length in critical_paths.items()} if previous else {
+            event: 0 for event in critical_paths}
+        profile = RungProfile(
+            rung=rung,
+            description=description,
+            wall_seconds=self._clock() - started,
+            area_clbs=area_clbs,
+            n_violations=n_violations,
+            critical_paths=dict(critical_paths),
+            area_delta=area_delta,
+            critical_path_deltas=path_deltas,
+        )
+        self.rungs.append(profile)
+        return profile
+
+    # -- reading back -----------------------------------------------------
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(rung.wall_seconds for rung in self.rungs)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "total_wall_seconds": round(self.total_wall_seconds, 6),
+            "rungs": [rung.to_json() for rung in self.rungs],
+        }
+
+    def rows(self) -> List[Tuple[str, int, str, int, str]]:
+        """(rung, area, Δarea, violations, wall ms) table rows."""
+        rows = []
+        for rung in self.rungs:
+            delta = f"{rung.area_delta:+d}" if rung is not self.rungs[0] else ""
+            rows.append((rung.rung, rung.area_clbs, delta,
+                         rung.n_violations,
+                         f"{rung.wall_seconds * 1e3:.1f}"))
+        return rows

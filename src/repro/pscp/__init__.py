@@ -5,6 +5,7 @@ Public API::
     from repro.pscp import PscpMachine, Tep, DeadlineMonitor
 """
 
+from repro.pscp.condcache import ConditionCacheBridge
 from repro.pscp.cr import ConfigurationRegister
 from repro.pscp.machine import (
     MachineError,
@@ -25,7 +26,8 @@ from repro.pscp.timers import InterruptController, Timer, TimerBank
 from repro.pscp.trace import DeadlineMonitor, DeadlineReport, EventRecord
 
 __all__ = [
-    "ConfigurationRegister", "DISPATCH_OVERHEAD_CYCLES", "DeadlineMonitor",
+    "ConditionCacheBridge", "ConfigurationRegister",
+    "DISPATCH_OVERHEAD_CYCLES", "DeadlineMonitor",
     "DeadlineReport", "DispatchPlan", "EventRecord", "InterruptController",
     "MachineError", "MachineStep", "PortBus", "PortError", "PscpMachine",
     "SLA_OVERHEAD_CYCLES", "SimplePorts", "Tep", "TepError", "TepState",

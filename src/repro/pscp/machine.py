@@ -23,6 +23,7 @@ parallelism across TEPs is a timing model — see
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
@@ -30,6 +31,7 @@ from repro.isa.arch import ArchConfig
 from repro.isa.codegen import CompiledProgram
 from repro.isa.isa import Imm, Instruction, LabelRef, Op
 from repro.isa.microcode import cycle_cost
+from repro.pscp.condcache import ConditionCacheBridge
 from repro.pscp.cr import ConfigurationRegister
 from repro.pscp.ports import PortBus
 from repro.pscp.scheduler import (
@@ -124,6 +126,8 @@ class PscpMachine:
         pla: Optional[Pla] = None,
         port_bus: Optional[PortBus] = None,
         param_names: Optional[Dict[str, List[str]]] = None,
+        keep_history: bool = True,
+        history_limit: Optional[int] = None,
     ) -> None:
         self.chart = chart
         self.compiled = compiled
@@ -142,10 +146,72 @@ class PscpMachine:
         self.executor = Tep(self.arch, program, ports=self.ports,
                             name="tep-shared")
         self.executor.load_memory(compiled.allocator.initial_values)
+        self.cond_cache_bridge = ConditionCacheBridge(
+            self.compiled.maps.conditions)
+        self._event_index_to_name = {index: name for name, index
+                                     in self.compiled.maps.events.items()}
         self._pending_internal_events: Set[str] = set()
         self.time = 0
         self.cycle_count = 0
-        self.history: List[MachineStep] = []
+        #: step records; a ring buffer when *history_limit* is set, nothing
+        #: at all when *keep_history* is false (attach a tracer to keep a
+        #: durable record of long runs without linear memory growth)
+        self._keep_history = keep_history or history_limit is not None
+        self.history = (deque(maxlen=history_limit)
+                        if history_limit is not None else [])
+        #: observability: ``None`` keeps every hook a no-op guard
+        self.tracer = None
+        self._tr_machine = self._tr_sla = self._tr_sched = self._tr_bus = 0
+        self._tr_teps: List[int] = []
+        self._span_names: Dict[int, str] = {}
+        self._idle_start: Optional[int] = None
+        self._idle_cycles = 0
+
+    # -- observability -----------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Start tracing into *tracer* (a :class:`repro.obs.Tracer`).
+
+        Track ids and per-transition span names are pre-computed here so the
+        per-cycle hot path does no string formatting.  Pass ``None`` to
+        detach and restore the zero-overhead disabled path.
+        """
+        previous = self.tracer
+        if previous is not None:
+            self._flush_idle(previous)
+        self.tracer = tracer
+        self._idle_start = None
+        self._idle_cycles = 0
+        if tracer is None:
+            return
+        self._tr_machine = tracer.track("machine")
+        self._tr_sla = tracer.track("SLA")
+        self._tr_sched = tracer.track("scheduler")
+        self._tr_teps = [tracer.track(f"TEP {index}")
+                         for index in range(self.arch.n_teps)]
+        self._tr_bus = tracer.track("cond-cache bus")
+        self._span_names = {}
+        for transition in self.chart.transitions:
+            routine = (action_routine_name(transition.action)
+                       if transition.action else "(no action)")
+            self._span_names[transition.index] = (
+                f"t{transition.index} {routine}")
+        tracer.metadata.setdefault("architecture", self.arch.describe())
+        tracer.metadata.setdefault("chart", self.chart.name)
+
+    def _flush_idle(self, tracer) -> None:
+        """Emit the pending coalesced quiescent-cycle span, if any."""
+        if self._idle_start is None:
+            return
+        tracer.span(self._tr_machine, "idle", self._idle_start,
+                    self._idle_cycles * SLA_OVERHEAD_CYCLES,
+                    {"cycles": self._idle_cycles})
+        self._idle_start = None
+        self._idle_cycles = 0
+
+    def flush_trace(self) -> None:
+        """Flush buffered trace state (call before exporting mid-run)."""
+        if self.tracer is not None:
+            self._flush_idle(self.tracer)
 
     # -- construction helpers ------------------------------------------------
     def _build_stubs(self):
@@ -164,35 +230,49 @@ class PscpMachine:
         self.cr.sample_events(external, internal)
         sampled = frozenset(self.cr.events)
 
+        tracer = self.tracer
         enabled = self.pla.enabled(self.cr.bits)
         self.tat.post(enabled)
+        if tracer is not None:
+            if not enabled and not sampled:
+                # quiescent cycle: coalesce into one pending "idle" span
+                # instead of paying for per-cycle event emission
+                if self._idle_start is None:
+                    self._idle_start = self.time
+                self._idle_cycles += 1
+                tracer = None
+            else:
+                self._flush_idle(tracer)
+                tracer.span(self._tr_sla, "SLA eval", self.time,
+                            SLA_OVERHEAD_CYCLES, {"enabled": len(enabled)})
+                for name in sorted(sampled):
+                    tracer.instant(self._tr_machine, name, self.time)
+                words_before = self.cond_cache_bridge.words_total
 
         transitions = [self.chart.transitions[i] for i in enabled]
         plan = round_robin_dispatch(
             enabled, self._routine_of, self.arch) if enabled else None
 
         costs: Dict[int, int] = {}
+        retired: Optional[Dict[int, int]] = None if tracer is None else {}
         raised_names: Set[str] = set()
         event_index_to_name = {index: name for name, index
                                in self.compiled.maps.events.items()}
-        condition_index_to_name = {index: name for name, index
-                                   in self.compiled.maps.conditions.items()}
+        bridge = self.cond_cache_bridge
+        cache = self.executor.condition_cache
 
         while not self.tat.empty:
             index = self.tat.pop()
             assert index is not None
-            # condition cache copy-in
-            for name, value in self.cr.condition_vector().items():
-                cache_index = self.compiled.maps.conditions.get(name)
-                if cache_index is not None:
-                    self.executor.condition_cache[cache_index] = value
+            bridge.copy_in(self.cr, cache)
             self.executor.events_raised = set()
+            if retired is not None:
+                executed_before = self.executor.instructions_executed
             costs[index] = self.executor.run(self.tat.entry(index))
-            # condition cache copy-back
-            updates = {}
-            for cache_index, name in condition_index_to_name.items():
-                updates[name] = self.executor.condition_cache[cache_index]
-            self.cr.write_conditions(updates)
+            if retired is not None:
+                retired[index] = (self.executor.instructions_executed
+                                  - executed_before)
+            bridge.copy_back(self.cr, cache)
             for event_index in self.executor.events_raised:
                 name = event_index_to_name.get(event_index)
                 if name is None:
@@ -224,13 +304,53 @@ class PscpMachine:
             events_sampled=sampled,
             events_raised=frozenset(raised_names),
         )
+        if tracer is not None:
+            self._trace_cycle(tracer, step, plan, costs, retired,
+                              raised_names, words_before)
         self.time += cycle_length
         self.cycle_count += 1
-        self.history.append(step)
+        if self._keep_history:
+            self.history.append(step)
         return step
 
+    def _trace_cycle(self, tracer, step: MachineStep,
+                     plan: Optional[DispatchPlan], costs: Dict[int, int],
+                     retired: Dict[int, int], raised_names: Set[str],
+                     words_before: int) -> None:
+        """Emit this configuration cycle's trace events (tracing enabled)."""
+        start, end = step.start_time, step.end_time
+        tracer.span(
+            self._tr_machine, "cycle", start, step.cycle_length,
+            {"cycle": self.cycle_count, "fired": len(step.fired)})
+        if plan is not None:
+            parallel_start = start + SLA_OVERHEAD_CYCLES
+            tracer.span(self._tr_sched, "TAT drain", parallel_start,
+                        step.cycle_length - SLA_OVERHEAD_CYCLES,
+                        {"transitions": len(plan.order)})
+            for index, tep_index in plan.diverted:
+                tracer.instant(self._tr_sched, "mutex-serialize",
+                               parallel_start,
+                               {"transition": index, "tep": tep_index})
+            for tep_index, queue in enumerate(plan.queues):
+                cursor = parallel_start
+                for index in queue:
+                    duration = DISPATCH_OVERHEAD_CYCLES + costs[index]
+                    tracer.span(
+                        self._tr_teps[tep_index], self._span_names[index],
+                        cursor, duration,
+                        {"transition": index, "cycles": costs[index],
+                         "instructions": retired[index]})
+                    cursor += duration
+        for name in sorted(raised_names):
+            tracer.instant(self._tr_machine, f"raise {name}", end)
+        words_delta = self.cond_cache_bridge.words_total - words_before
+        if words_delta:
+            tracer.counter(self._tr_bus, "cache words", end, words_delta)
+
     def run(self, traces: Iterable[Iterable[str]]) -> List[MachineStep]:
-        return [self.step(events) for events in traces]
+        steps = [self.step(events) for events in traces]
+        self.flush_trace()
+        return steps
 
     def _routine_of(self, transition_index: int) -> Optional[str]:
         transition = self.chart.transitions[transition_index]

@@ -38,6 +38,10 @@ class DispatchPlan:
     #: execution order across the machine (queue-major is NOT the order —
     #: transitions run in index order for deterministic shared state)
     order: List[int]
+    #: (transition index, tep) pairs that were pulled off the round-robin
+    #: rotation onto an exclusion partner's queue — each one is a
+    #: serialization stall the mutual-exclusion decode logic would cause
+    diverted: List[Tuple[int, int]] = field(default_factory=list)
 
     def tep_of(self, transition_index: int) -> int:
         for tep, queue in enumerate(self.queues):
@@ -68,6 +72,7 @@ def round_robin_dispatch(
     """
     queues: List[List[int]] = [[] for _ in range(arch.n_teps)]
     order = sorted(transition_indices)
+    diverted: List[Tuple[int, int]] = []
     next_tep = 0
     for index in order:
         routine = routine_of(index)
@@ -84,5 +89,7 @@ def round_robin_dispatch(
         if target is None:
             target = next_tep
             next_tep = (next_tep + 1) % arch.n_teps
+        else:
+            diverted.append((index, target))
         queues[target].append(index)
-    return DispatchPlan(queues, order)
+    return DispatchPlan(queues, order, diverted)

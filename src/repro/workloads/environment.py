@@ -74,11 +74,16 @@ class SmdClosedLoop:
     COMMAND_BYTES = 4
 
     def __init__(self, system: BuiltSystem,
-                 motor_specs: Optional[Dict[str, MotorSpec]] = None) -> None:
+                 motor_specs: Optional[Dict[str, MotorSpec]] = None,
+                 tracer=None, metrics=None) -> None:
         self.system = system
         self.ports = PortBus()
         self.machine: PscpMachine = system.make_machine(port_bus=self.ports)
         self.monitor = DeadlineMonitor(system.chart)
+        #: observability (optional): a repro.obs Tracer / MetricsRegistry
+        if tracer is not None:
+            self.machine.attach_tracer(tracer)
+        self.metrics = metrics
         specs = motor_specs or {"X": X_MOTOR, "Y": Y_MOTOR, "Phi": PHI_MOTOR}
         self.motors = {name: Motor(spec) for name, spec in specs.items()}
         self._pulse_event = {"X": "X_PULSE", "Y": "Y_PULSE",
@@ -199,6 +204,9 @@ class SmdClosedLoop:
                 if all(not motor.moving for motor in self.motors.values()):
                     break
 
+        machine.flush_trace()
+        if self.metrics is not None:
+            self._publish_metrics(completed, len(commands))
         return ClosedLoopReport(
             commands_completed=completed,
             commands_issued=len(commands),
@@ -210,3 +218,25 @@ class SmdClosedLoop:
             worst_latencies={report.event: report.worst_latency
                              for report in self.monitor.reports()},
         )
+
+    def _publish_metrics(self, completed: int, issued: int) -> None:
+        metrics = self.metrics
+        machine = self.machine
+        self.monitor.publish(metrics)
+        metrics.counter("machine.configuration_cycles").value = \
+            machine.cycle_count
+        metrics.counter("machine.reference_cycles",
+                        "simulated reference-clock cycles").value = \
+            machine.time
+        metrics.counter("machine.instructions_retired").value = \
+            machine.executor.instructions_executed
+        bridge = machine.cond_cache_bridge
+        metrics.counter("condcache.words_copied_in").value = \
+            bridge.words_copied_in
+        metrics.counter("condcache.words_copied_back").value = \
+            bridge.words_copied_back
+        metrics.counter("condcache.transfers",
+                        "routine dispatches with cache copy-in").value = \
+            bridge.transfers
+        metrics.counter("workload.commands_completed").value = completed
+        metrics.counter("workload.commands_issued").value = issued

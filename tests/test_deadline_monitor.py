@@ -1,0 +1,219 @@
+"""DeadlineMonitor edge cases: superseded arrivals, dropped events, events
+never consumed, and back-to-back arrivals within one configuration cycle.
+
+These drive the monitor directly with hand-built :class:`MachineStep`
+objects so every branch of the miss taxonomy is exercised deterministically,
+independent of a compiled controller.
+"""
+
+from repro.pscp.machine import MachineStep
+from repro.pscp.trace import DeadlineMonitor, EventRecord
+from repro.statechart import ChartBuilder
+
+
+class FakeTransition:
+    """Stands in for a chart transition; consumes a fixed set of events."""
+
+    def __init__(self, *events):
+        self.events = set(events)
+
+    def consumes(self, name):
+        return name in self.events
+
+
+def make_step(start, end, sampled=(), fired=()):
+    return MachineStep(
+        fired=list(fired),
+        configuration=frozenset({"Top"}),
+        cycle_length=end - start,
+        start_time=start,
+        end_time=end,
+        plan=None,
+        events_sampled=frozenset(sampled),
+        events_raised=frozenset(),
+    )
+
+
+def chart(period=100):
+    b = ChartBuilder("monitored")
+    b.event("TICK", period=period)
+    b.event("FREE")  # unconstrained: the monitor must ignore it
+    with b.or_state("Top", default="Idle"):
+        b.basic("Idle").transition("Idle", label="TICK/")
+    return b.build()
+
+
+class TestHappyPath:
+    def test_consumed_within_period(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        monitor.observe(make_step(5, 45, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        report = monitor.report("TICK")
+        assert report.arrivals == 1
+        assert report.consumed == 1
+        assert report.worst_latency == 45
+        assert report.misses == 0
+        assert report.met
+        assert monitor.all_met()
+
+    def test_unconstrained_event_ignored(self):
+        monitor = DeadlineMonitor(chart())
+        monitor.arrival("FREE", 0)
+        monitor.arrival("UNKNOWN", 0)
+        assert "FREE" not in monitor.records
+        assert [r.event for r in monitor.reports()] == ["TICK"]
+
+
+class TestSupersededArrival:
+    def test_overwritten_before_sampling_is_a_miss(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)       # never sampled...
+        monitor.arrival("TICK", 100)     # ...overwritten by the next one
+        monitor.observe(make_step(100, 130, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        report = monitor.report("TICK")
+        assert report.arrivals == 2
+        assert report.superseded == 1
+        assert report.consumed == 1
+        assert report.misses == 1
+        assert not report.met
+
+    def test_miss_is_recorded_at_arrival_time(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        monitor.arrival("TICK", 100)
+        # no observe() yet: the superseded arrival is already a known miss
+        first = monitor.records["TICK"][0]
+        assert first.superseded
+        assert first.is_miss(period=100)
+
+
+class TestDroppedEvent:
+    def test_sampled_but_not_consumed_is_a_miss(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        # the cycle samples TICK but fires nothing that consumes it; the CR
+        # clears the event bits at end of cycle, so the arrival is gone
+        monitor.observe(make_step(5, 45, sampled={"TICK"}, fired=[]))
+        report = monitor.report("TICK")
+        assert report.dropped == 1
+        assert report.consumed == 0
+        assert report.misses == 1
+
+    def test_dropped_event_not_resurrected_by_later_cycle(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        monitor.observe(make_step(5, 45, sampled={"TICK"}, fired=[]))
+        # a later cycle that would consume TICK has no open record to close
+        monitor.observe(make_step(45, 90, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        report = monitor.report("TICK")
+        assert report.arrivals == 1
+        assert report.consumed == 0
+        assert report.misses == 1
+
+
+class TestNeverConsumed:
+    def test_open_past_deadline_is_a_miss(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        # cycles pass without ever sampling TICK; clock moves past deadline
+        monitor.observe(make_step(0, 60, sampled=set(), fired=[]))
+        monitor.observe(make_step(60, 140, sampled=set(), fired=[]))
+        report = monitor.report("TICK")
+        assert report.arrivals == 1
+        assert report.consumed == 0
+        assert report.misses == 1
+
+    def test_open_within_deadline_is_not_yet_a_miss(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        monitor.observe(make_step(0, 60, sampled=set(), fired=[]))
+        report = monitor.report("TICK")
+        assert report.misses == 0
+        assert not report.met  # still outstanding, so not "met" either
+
+    def test_never_observed_is_not_a_miss(self):
+        # no steps at all: no clock, so the open arrival cannot be judged
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        assert monitor.report("TICK").misses == 0
+
+
+class TestLateMiss:
+    def test_consumed_after_period_is_a_miss(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        monitor.observe(make_step(90, 150, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        report = monitor.report("TICK")
+        assert report.consumed == 1
+        assert report.worst_latency == 150
+        assert report.misses == 1
+
+    def test_latency_exactly_period_is_on_time(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 20)
+        monitor.observe(make_step(80, 120, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        assert monitor.report("TICK").misses == 0
+
+
+class TestBackToBackArrivals:
+    def test_two_arrivals_one_cycle(self):
+        """Two arrivals land before the same configuration cycle samples the
+        event: the CR holds one bit, so the first is superseded and only the
+        second can be consumed."""
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 10)
+        monitor.arrival("TICK", 12)
+        monitor.observe(make_step(12, 50, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        report = monitor.report("TICK")
+        assert report.arrivals == 2
+        assert report.superseded == 1
+        assert report.consumed == 1
+        assert report.worst_latency == 38
+        assert report.misses == 1
+
+    def test_steady_stream_alternating(self):
+        monitor = DeadlineMonitor(chart(period=100))
+        for n in range(4):
+            monitor.arrival("TICK", n * 100)
+            monitor.observe(make_step(n * 100, n * 100 + 40,
+                                      sampled={"TICK"},
+                                      fired=[FakeTransition("TICK")]))
+        report = monitor.report("TICK")
+        assert report.arrivals == report.consumed == 4
+        assert report.misses == 0
+        assert report.met
+
+
+class TestPublish:
+    def test_publish_into_registry_is_idempotent(self):
+        from repro.obs import MetricsRegistry
+
+        monitor = DeadlineMonitor(chart(period=100))
+        monitor.arrival("TICK", 0)
+        monitor.observe(make_step(0, 40, sampled={"TICK"},
+                                  fired=[FakeTransition("TICK")]))
+        monitor.arrival("TICK", 100)
+        monitor.arrival("TICK", 110)  # supersedes
+        registry = MetricsRegistry()
+        monitor.publish(registry)
+        monitor.publish(registry)  # snapshot semantics: no double counting
+        assert registry["deadline.TICK.arrivals"].value == 3
+        assert registry["deadline.TICK.misses"].value == 1
+        assert registry["deadline.TICK.period_cycles"].value == 100
+        histogram = registry["deadline.TICK.latency_cycles"]
+        assert histogram.count == 1
+        assert histogram.max == 40
+
+
+class TestEventRecord:
+    def test_latency_none_until_consumed(self):
+        record = EventRecord("TICK", 10)
+        assert record.latency is None
+        record.consumed_time = 35
+        assert record.latency == 25
