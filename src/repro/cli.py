@@ -22,12 +22,19 @@ Observability subcommands (see docs/OBSERVABILITY.md)::
     python -m repro trace PROJECT [--out trace.json] [--cycles N] ...
     python -m repro stats PROJECT [--json] [--cycles N] ...
 
+Robustness subcommand (see docs/ROBUSTNESS.md)::
+
+    python -m repro faults PROJECT [--seed N] [--runs-per-class N]
+                                   [--classes a,b,...] [--json]
+
 ``PROJECT`` is either a directory holding one ``*.sc`` chart and one
 ``*.c`` routine file (e.g. ``examples/smd``) or an explicit
 ``CHART.sc ROUTINES.c`` pair.  ``trace`` simulates the compiled system and
 writes Chrome trace-event JSON — open it at https://ui.perfetto.dev —
 with one track per TEP plus the SLA, scheduler and condition-cache bus;
-``stats`` runs the same simulation and prints the metrics registry.
+``stats`` runs the same simulation and prints the metrics registry;
+``faults`` runs seeded fault-injection campaigns over the SMD closed loop
+and reports detected/recovered/missed per fault class.
 """
 
 from __future__ import annotations
@@ -299,12 +306,89 @@ def run_stats(argv: List[str], out=sys.stdout) -> int:
     return 0
 
 
+def run_faults(argv: List[str], out=sys.stdout) -> int:
+    """``repro faults``: seeded fault campaigns over the SMD closed loop."""
+    parser = _sim_argument_parser(
+        "repro faults",
+        "run seeded fault-injection campaigns against the closed-loop "
+        "simulation and report detection/recovery per fault class")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (default: 1)")
+    parser.add_argument("--runs-per-class", type=_positive_int, default=3,
+                        help="fault runs per fault class (default: 3)")
+    parser.add_argument("--classes", default=None,
+                        help="comma-separated fault classes "
+                             "(default: all 15)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable campaign report")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace of the fault runs "
+                             "(fault instants + recovery tracks)")
+    args = parser.parse_args(argv)
+
+    from repro.fault import ALL_FAULT_KINDS, FaultCampaign
+    from repro.obs import MetricsRegistry, metrics_summary
+
+    try:
+        chart_text, routine_text = _load_sources(args.project, args.routines)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chart = parse_chart(chart_text)
+    if chart.name != "smd_pickup_head":
+        print("error: fault campaigns drive the SMD closed loop; "
+              f"chart {chart.name!r} has no environment model",
+              file=sys.stderr)
+        return 2
+    classes = ALL_FAULT_KINDS
+    if args.classes:
+        classes = tuple(name.strip() for name in args.classes.split(",")
+                        if name.strip())
+        unknown = set(classes) - set(ALL_FAULT_KINDS)
+        if unknown:
+            print(f"error: unknown fault classes {sorted(unknown)}; "
+                  f"known: {', '.join(ALL_FAULT_KINDS)}", file=sys.stderr)
+            return 2
+    system = _build_for_simulation(chart, routine_text, args)
+
+    tracer = None
+    if args.trace is not None:
+        from repro.obs import Tracer
+        tracer = Tracer()
+    metrics = MetricsRegistry()
+    campaign = FaultCampaign(
+        system, seed=args.seed, runs_per_class=args.runs_per_class,
+        classes=classes,
+        max_configuration_cycles=args.cycles or 20000,
+        tracer=tracer, metrics=metrics)
+    report = campaign.run()
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(tracer, args.trace, metrics)
+    if args.json:
+        json.dump(report.to_json(), out, indent=2)
+        print(file=out)
+        return 0
+    print(f"chart {chart.name!r} on {system.arch.describe()}", file=out)
+    print(file=out)
+    print(report.render(), file=out)
+    print(file=out)
+    print(metrics_summary(metrics), file=out)
+    if tracer is not None:
+        print(file=out)
+        print(f"wrote {args.trace}: {len(tracer.events)} trace events",
+              file=out)
+    return 0
+
+
 def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
         return run_trace(argv[1:], out)
     if argv and argv[0] == "stats":
         return run_stats(argv[1:], out)
+    if argv and argv[0] == "faults":
+        return run_faults(argv[1:], out)
     args = build_argument_parser().parse_args(argv)
 
     try:

@@ -1,0 +1,281 @@
+"""The fault injector: executes a :class:`~repro.fault.model.FaultPlan`
+against a running machine.
+
+The injector is attached with
+:meth:`~repro.pscp.machine.PscpMachine.attach_injector`, mirroring the
+tracer protocol: every hook site in the machine, the condition-cache bridge
+and the port bus is guarded by a single ``if injector is not None`` test, so
+the detached path performs no extra work and an attached injector with an
+**empty plan** is byte-identical to no injector at all (asserted by the
+fault-free parity test).
+
+Faults stay *armed* from their cycle until their victim shows up:
+
+* bus faults (drop/duplicate/delay) bite on the next occurrence of their
+  target event at or after their cycle;
+* dispatch faults (stall/runaway) bite on the next transition dispatch;
+* everything else (CR flips, RAM flips, cache flips, TEP failure, stuck
+  ports, stuck SLA outputs) applies at the first cycle >= its arm cycle.
+
+Every fault that bites is logged as an
+:class:`~repro.fault.model.InjectedFault` (and, when a tracer is attached,
+emitted as an instant on the dedicated ``faults`` track), so campaigns can
+correlate injections with the guard's detections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fault.model import (
+    CACHE_BACK_FLIP,
+    CACHE_IN_FLIP,
+    CR_CONDITION_FLIP,
+    CR_EVENT_FLIP,
+    CR_STATE_FLIP,
+    EVENT_DELAY,
+    EVENT_DROP,
+    EVENT_DUPLICATE,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    PORT_STUCK,
+    RAM_FLIP,
+    SLA_STUCK_OFF,
+    SLA_STUCK_ON,
+    TEP_FAIL,
+    TEP_RUNAWAY,
+    TEP_STALL,
+)
+
+
+class FaultInjector:
+    """Deterministic, cycle-addressed fault injection for one machine."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self.machine = None
+        self.tracer = None
+        self._track: Optional[int] = None
+        #: every fault that actually bit, in bite order
+        self.injected: List[InjectedFault] = []
+        self._cycle_log: List[InjectedFault] = []
+        #: True while the current cycle corrupted the CR state part or
+        #: forced an SLA output — the machine consults this to decide
+        #: whether the guard must re-check configuration legality
+        self.state_touched = False
+        self._load_plan()
+
+    # -- wiring ------------------------------------------------------------
+    def _load_plan(self) -> None:
+        self._event_faults: List[Fault] = []
+        self._cycle_faults: List[Fault] = []
+        self._dispatch_faults: List[Fault] = []
+        self._sla_faults: List[Fault] = []
+        for fault in self.plan:
+            if fault.kind in (EVENT_DROP, EVENT_DUPLICATE, EVENT_DELAY):
+                self._event_faults.append(fault)
+            elif fault.kind in (TEP_STALL, TEP_RUNAWAY):
+                self._dispatch_faults.append(fault)
+            elif fault.kind in (SLA_STUCK_ON, SLA_STUCK_OFF):
+                self._sla_faults.append(fault)
+            else:
+                self._cycle_faults.append(fault)
+        #: events the bus re-delivers later: cycle -> event names
+        self._reinjections: Dict[int, Set[str]] = {}
+        #: port address -> stuck value
+        self._stuck_ports: Dict[int, int] = {}
+
+    def bind(self, machine) -> None:
+        """Called by :meth:`PscpMachine.attach_injector`."""
+        self.machine = machine
+
+    def attach_tracer(self, tracer) -> None:
+        self.tracer = tracer
+        self._track = None if tracer is None else tracer.track("faults")
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every planned fault has bitten."""
+        return not (self._event_faults or self._cycle_faults
+                    or self._dispatch_faults or self._sla_faults
+                    or self._reinjections)
+
+    # -- logging -----------------------------------------------------------
+    def _record(self, kind: str, cycle: int, target, detail: str) -> None:
+        record = InjectedFault(kind, cycle, target, detail)
+        self.injected.append(record)
+        self._cycle_log.append(record)
+        if self.tracer is not None:
+            time = self.machine.time if self.machine is not None else cycle
+            self.tracer.instant(self._track, record.describe(), time,
+                                {"kind": kind, "cycle": cycle})
+
+    def drain_cycle_log(self) -> Tuple[InjectedFault, ...]:
+        """Faults that bit during the current configuration cycle."""
+        if not self._cycle_log:
+            return ()
+        log = tuple(self._cycle_log)
+        self._cycle_log.clear()
+        return log
+
+    # -- hook: the external event bus --------------------------------------
+    def filter_events(self, cycle: int, events: Set[str]) -> Set[str]:
+        """Apply drop/duplicate/delay faults to this cycle's bus sample."""
+        due = self._reinjections.pop(cycle, None)
+        if due:
+            # the originating drop/duplicate/delay fault was already logged
+            events = set(events) | due
+        if not self._event_faults:
+            return events
+        remaining: List[Fault] = []
+        for fault in self._event_faults:
+            if cycle < fault.cycle or fault.target not in events:
+                remaining.append(fault)
+                continue
+            if fault.kind == EVENT_DROP:
+                events = set(events)
+                events.discard(fault.target)
+                self._record(fault.kind, cycle, fault.target, "dropped")
+            elif fault.kind == EVENT_DUPLICATE:
+                later = cycle + max(1, fault.param)
+                self._reinjections.setdefault(later, set()).add(fault.target)
+                self._record(fault.kind, cycle, fault.target,
+                             f"duplicate at cycle {later}")
+            else:  # EVENT_DELAY
+                events = set(events)
+                events.discard(fault.target)
+                later = cycle + max(1, fault.param)
+                self._reinjections.setdefault(later, set()).add(fault.target)
+                self._record(fault.kind, cycle, fault.target,
+                             f"delayed to cycle {later}")
+        self._event_faults = remaining
+        return events
+
+    # -- hook: cycle-addressed state corruption ----------------------------
+    def apply_cycle_faults(self, cycle: int, machine) -> None:
+        """CR bit flips, RAM flips, TEP failures and port stuck-ats due at
+        or before *cycle*.  Called right after event sampling."""
+        self.state_touched = False
+        if not self._cycle_faults:
+            return
+        remaining: List[Fault] = []
+        for fault in self._cycle_faults:
+            if cycle < fault.cycle:
+                remaining.append(fault)
+                continue
+            if fault.kind == CR_EVENT_FLIP:
+                present = machine.cr.flip_event(fault.target)
+                self._record(fault.kind, cycle, fault.target,
+                             "set" if present else "cleared")
+            elif fault.kind == CR_CONDITION_FLIP:
+                present = machine.cr.flip_condition(fault.target)
+                self._record(fault.kind, cycle, fault.target,
+                             "set" if present else "cleared")
+            elif fault.kind == CR_STATE_FLIP:
+                before = machine.cr.configuration
+                after = machine.cr.corrupt_state_bit(fault.target)
+                self.state_touched = True
+                self._record(fault.kind, cycle, fault.target,
+                             f"{sorted(before - after)}"
+                             f"->{sorted(after - before)}")
+            elif fault.kind == RAM_FLIP:
+                value = machine.executor.flip_memory_bit(fault.target,
+                                                         fault.param)
+                self._record(fault.kind, cycle, fault.target,
+                             f"bit {fault.param} -> {value}")
+            elif fault.kind == TEP_FAIL:
+                machine.fail_tep(fault.target)
+                self._record(fault.kind, cycle, fault.target, "TEP failed")
+            elif fault.kind == PORT_STUCK:
+                self._stuck_ports[fault.target] = fault.param
+                self._record(fault.kind, cycle, fault.target,
+                             f"stuck at {fault.param}")
+            elif fault.kind in (CACHE_IN_FLIP, CACHE_BACK_FLIP):
+                # armed; bites at the bridge hooks below
+                remaining.append(fault)
+                continue
+            else:  # pragma: no cover - defensive
+                remaining.append(fault)
+                continue
+        self._cycle_faults = remaining
+
+    # -- hook: the SLA outputs ---------------------------------------------
+    def filter_enabled(self, cycle: int, enabled: List[int]) -> List[int]:
+        """Stuck-at faults on SLA product-term outputs."""
+        if not self._sla_faults:
+            return enabled
+        remaining: List[Fault] = []
+        for fault in self._sla_faults:
+            if cycle < fault.cycle:
+                remaining.append(fault)
+                continue
+            if fault.kind == SLA_STUCK_ON:
+                if fault.target not in enabled:
+                    enabled = sorted(set(enabled) | {fault.target})
+                self.state_touched = True
+                self._record(fault.kind, cycle, fault.target, "forced t=1")
+            else:  # SLA_STUCK_OFF: suppress the next natural firing
+                if fault.target not in enabled:
+                    remaining.append(fault)
+                    continue
+                enabled = [i for i in enabled if i != fault.target]
+                self._record(fault.kind, cycle, fault.target, "forced t=0")
+        self._sla_faults = remaining
+        return enabled
+
+    # -- hook: dispatch (TEP stall / runaway) ------------------------------
+    def dispatch_effect(self, cycle: int, transition_index: int
+                        ) -> Optional[Fault]:
+        """The stall/runaway fault biting this dispatch, if any."""
+        if not self._dispatch_faults:
+            return None
+        for position, fault in enumerate(self._dispatch_faults):
+            if cycle >= fault.cycle:
+                del self._dispatch_faults[position]
+                self._record(fault.kind, cycle, transition_index,
+                             f"{fault.param} extra cycles"
+                             if fault.kind == TEP_STALL else "never returns")
+                return fault
+        return None
+
+    # -- hook: the condition-cache bridge ----------------------------------
+    def _cache_flip(self, kind: str, cache: List[bool]) -> None:
+        cycle = self.machine.cycle_count if self.machine is not None else 0
+        remaining: List[Fault] = []
+        for fault in self._cycle_faults:
+            if fault.kind == kind and cycle >= fault.cycle:
+                cache[fault.target] = not cache[fault.target]
+                self._record(kind, cycle, fault.target,
+                             f"slot now {cache[fault.target]}")
+            else:
+                remaining.append(fault)
+        self._cycle_faults = remaining
+
+    def on_cache_copy_in(self, cache: List[bool]) -> None:
+        """Called by the bridge after CR -> cache copy-in."""
+        if self._cycle_faults:
+            self._cache_flip(CACHE_IN_FLIP, cache)
+
+    def on_cache_copy_back(self, cache: List[bool]) -> None:
+        """Called by the bridge before cache -> CR copy-back."""
+        if self._cycle_faults:
+            self._cache_flip(CACHE_BACK_FLIP, cache)
+
+    # -- hook: the port bus ------------------------------------------------
+    def on_port_read(self, address: int, value: int) -> int:
+        if not self._stuck_ports:
+            return value
+        return self._stuck_ports.get(address, value)
+
+    # -- reporting ---------------------------------------------------------
+    def publish(self, metrics) -> None:
+        """Publish injection counts into a metrics registry."""
+        by_kind: Dict[str, int] = {}
+        for record in self.injected:
+            by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+        metrics.counter("fault.injected",
+                        "faults that bit during the run").value = \
+            len(self.injected)
+        for kind in sorted(by_kind):
+            metrics.counter(f"fault.injected.{kind}").value = by_kind[kind]

@@ -25,7 +25,8 @@ class ConditionCacheBridge:
     """Copy-in/copy-back between the CR and one TEP's condition cache."""
 
     __slots__ = ("condition_indices", "index_to_name",
-                 "words_copied_in", "words_copied_back", "transfers")
+                 "words_copied_in", "words_copied_back", "transfers",
+                 "injector")
 
     def __init__(self, condition_indices: Dict[str, int]) -> None:
         #: condition name -> cache slot (the compiled NameMaps view)
@@ -35,6 +36,8 @@ class ConditionCacheBridge:
         self.words_copied_in = 0
         self.words_copied_back = 0
         self.transfers = 0
+        #: fault injection: ``None`` keeps the copies on the fault-free path
+        self.injector = None
 
     def copy_in(self, cr: ConfigurationRegister,
                 cache: List[bool]) -> int:
@@ -47,11 +50,15 @@ class ConditionCacheBridge:
                 moved += 1
         self.words_copied_in += moved
         self.transfers += 1
+        if self.injector is not None:
+            self.injector.on_cache_copy_in(cache)
         return moved
 
     def copy_back(self, cr: ConfigurationRegister,
                   cache: List[bool]) -> int:
         """Cache -> CR condition part; returns words moved."""
+        if self.injector is not None:
+            self.injector.on_cache_copy_back(cache)
         updates = {}
         for cache_index, name in self.index_to_name.items():
             updates[name] = cache[cache_index]

@@ -59,6 +59,39 @@ class ConfigurationRegister:
             else:
                 self.conditions.discard(name)
 
+    # -- fault-injection hooks ------------------------------------------------
+    def flip_event(self, name: str) -> bool:
+        """Single-bit upset in the event part; returns the new presence."""
+        if name not in self.layout.chart.events:
+            raise KeyError(f"unknown event {name!r}")
+        if name in self.events:
+            self.events.discard(name)
+            return False
+        self.events.add(name)
+        return True
+
+    def flip_condition(self, name: str) -> bool:
+        """Single-bit upset in the condition part; returns the new presence."""
+        if name not in self.layout.chart.conditions:
+            raise KeyError(f"unknown condition {name!r}")
+        if name in self.conditions:
+            self.conditions.discard(name)
+            return False
+        self.conditions.add(name)
+        return True
+
+    def corrupt_state_bit(self, bit: int) -> FrozenSet[str]:
+        """Single-bit upset in the state part.
+
+        Re-decodes the corrupted state word, so the resulting configuration
+        may be illegal (an OR-selector pointing at an unused code point) —
+        exactly what the guard's exclusivity checker exists to catch.
+        Returns the new configuration."""
+        encoding = self.layout.encoding
+        bits = encoding.encode(self.configuration) ^ (1 << bit)
+        self.configuration = frozenset(encoding.active_states(bits))
+        return self.configuration
+
     # -- state part ----------------------------------------------------------
     def update_states(self, exited: Iterable[str],
                       entered: Iterable[str]) -> None:

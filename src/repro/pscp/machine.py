@@ -110,6 +110,11 @@ class MachineStep:
     plan: Optional[DispatchPlan]
     events_sampled: FrozenSet[str]
     events_raised: FrozenSet[str]
+    #: faults that bit this cycle (injector attached) and detections the
+    #: guard recorded; both stay ``()`` on the fault-free path so an
+    #: empty-plan run is indistinguishable from a no-injector run
+    faults: Tuple = ()
+    recoveries: Tuple = ()
 
     @property
     def quiescent(self) -> bool:
@@ -166,6 +171,14 @@ class PscpMachine:
         self._span_names: Dict[int, str] = {}
         self._idle_start: Optional[int] = None
         self._idle_cycles = 0
+        #: fault injection / recovery: ``None`` keeps every hook a no-op
+        #: guard, same zero-overhead pattern as the tracer
+        self.injector = None
+        self.guard = None
+        self.failed_teps: Set[int] = set()
+        #: ``None`` until a TEP fails; then the surviving TEP indices the
+        #: scheduler round-robins over
+        self._available_teps: Optional[List[int]] = None
 
     # -- observability -----------------------------------------------------
     def attach_tracer(self, tracer) -> None:
@@ -197,6 +210,56 @@ class PscpMachine:
                 f"t{transition.index} {routine}")
         tracer.metadata.setdefault("architecture", self.arch.describe())
         tracer.metadata.setdefault("chart", self.chart.name)
+        if self.injector is not None:
+            self.injector.attach_tracer(tracer)
+        if self.guard is not None:
+            self.guard.attach_tracer(tracer)
+
+    # -- fault injection and recovery --------------------------------------
+    def attach_injector(self, injector) -> None:
+        """Attach a :class:`repro.fault.FaultInjector` (or ``None`` to
+        detach and restore the zero-overhead disabled path).
+
+        An attached injector with an empty plan leaves the machine
+        byte-identical to an un-instrumented one — the fault-free parity
+        guarantee the tests assert.
+        """
+        self.injector = injector
+        self.cond_cache_bridge.injector = injector
+        self.ports.injector = injector
+        if injector is not None:
+            injector.bind(self)
+            if self.tracer is not None:
+                injector.attach_tracer(self.tracer)
+
+    def attach_guard(self, guard) -> None:
+        """Attach a :class:`repro.fault.MachineGuard`: arms the
+        configuration-cycle watchdog, the exclusivity-set checker and the
+        bounded-retry policy.  Pass ``None`` to detach."""
+        self.guard = guard
+        if guard is not None:
+            guard.bind(self)
+            if self.tracer is not None:
+                guard.attach_tracer(self.tracer)
+
+    def fail_tep(self, index: int) -> None:
+        """Mark a TEP failed mid-run; the scheduler re-plans over the
+        survivors (graceful timing degradation instead of a crash).  Raises
+        :class:`MachineError` only when *no* TEP survives."""
+        if not 0 <= index < self.arch.n_teps:
+            raise MachineError(
+                f"cannot fail TEP {index}: architecture has "
+                f"{self.arch.n_teps} TEP(s)")
+        if index in self.failed_teps:
+            return
+        self.failed_teps.add(index)
+        survivors = [i for i in range(self.arch.n_teps)
+                     if i not in self.failed_teps]
+        if self.guard is not None:
+            self.guard.on_tep_failed(self.cycle_count, index, survivors)
+        if not survivors:
+            raise MachineError("all TEPs failed; no executor survives")
+        self._available_teps = survivors
 
     def _flush_idle(self, tracer) -> None:
         """Emit the pending coalesced quiescent-cycle span, if any."""
@@ -225,16 +288,46 @@ class PscpMachine:
         unknown = external - set(self.chart.events)
         if unknown:
             raise MachineError(f"unknown external events {sorted(unknown)!r}")
+        injector = self.injector
+        guard = self.guard
+        if injector is not None:
+            # bus faults: drop / duplicate / delay external events
+            external = injector.filter_events(self.cycle_count, external)
         internal = self._pending_internal_events
         self._pending_internal_events = set()
         self.cr.sample_events(external, internal)
+        if injector is not None:
+            # CR bit upsets, RAM flips, TEP failures, stuck ports
+            injector.apply_cycle_faults(self.cycle_count, self)
+            if guard is not None and injector.state_touched:
+                # the exclusivity checker monitors the CR state part
+                # directly, so a corrupted state word is caught *before*
+                # the SLA evaluates it (a fired transition's entry set can
+                # mask the corruption by cycle end)
+                problems = guard.check_configuration(self.cr.configuration)
+                if problems:
+                    self.cr.configuration = guard.on_illegal_configuration(
+                        self.cycle_count, problems)
         sampled = frozenset(self.cr.events)
 
         tracer = self.tracer
         enabled = self.pla.enabled(self.cr.bits)
+        if injector is not None:
+            # stuck-at faults on the SLA product-term outputs
+            enabled = injector.filter_enabled(self.cycle_count, enabled)
+        retries: List[int] = []
+        if guard is not None:
+            due = guard.due_retries(self.cycle_count)
+            if due:
+                # a natural re-firing supersedes the scheduled retry: the
+                # dispatch below is the same routine execution either way
+                enabled_set = set(enabled)
+                retries = [i for i in due if i not in enabled_set]
         self.tat.post(enabled)
+        if retries:
+            self.tat.post(retries)
         if tracer is not None:
-            if not enabled and not sampled:
+            if not enabled and not sampled and not retries:
                 # quiescent cycle: coalesce into one pending "idle" span
                 # instead of paying for per-cycle event emission
                 if self._idle_start is None:
@@ -250,28 +343,45 @@ class PscpMachine:
                 words_before = self.cond_cache_bridge.words_total
 
         transitions = [self.chart.transitions[i] for i in enabled]
+        dispatch = enabled + retries
         plan = round_robin_dispatch(
-            enabled, self._routine_of, self.arch) if enabled else None
+            dispatch, self._routine_of, self.arch,
+            self._available_teps) if dispatch else None
 
         costs: Dict[int, int] = {}
         retired: Optional[Dict[int, int]] = None if tracer is None else {}
         raised_names: Set[str] = set()
-        event_index_to_name = {index: name for name, index
-                               in self.compiled.maps.events.items()}
+        event_index_to_name = self._event_index_to_name
         bridge = self.cond_cache_bridge
         cache = self.executor.condition_cache
 
         while not self.tat.empty:
             index = self.tat.pop()
             assert index is not None
+            effect = (injector.dispatch_effect(self.cycle_count, index)
+                      if injector is not None else None)
             bridge.copy_in(self.cr, cache)
             self.executor.events_raised = set()
             if retired is not None:
                 executed_before = self.executor.instructions_executed
-            costs[index] = self.executor.run(self.tat.entry(index))
+            budget = guard.budgets.get(index) if guard is not None else None
+            if effect is None and budget is None:
+                costs[index] = self.executor.run(self.tat.entry(index))
+                completed = True
+            else:
+                cost, completed, detected = self._execute_dispatch(
+                    index, effect, budget)
+                costs[index] = cost
+                if not completed and detected:
+                    guard.on_watchdog_abort(self.cycle_count, index)
             if retired is not None:
                 retired[index] = (self.executor.instructions_executed
                                   - executed_before)
+            if not completed:
+                # aborted or runaway: the routine's condition/event effects
+                # are transactional — no copy-back, raised events dropped
+                self.executor.events_raised = set()
+                continue
             bridge.copy_back(self.cr, cache)
             for event_index in self.executor.events_raised:
                 name = event_index_to_name.get(event_index)
@@ -279,6 +389,8 @@ class PscpMachine:
                     raise MachineError(
                         f"routine raised unknown event index {event_index}")
                 raised_names.add(name)
+            if guard is not None and guard.has_open_abort(index):
+                guard.on_retry_success(self.cycle_count, index)
 
         # state update (same per-transition order as the interpreter)
         configuration = set(self.cr.configuration)
@@ -292,6 +404,16 @@ class PscpMachine:
         self.cr.reset_events()
         self._pending_internal_events |= raised_names
 
+        if guard is not None and (
+                transitions
+                or (injector is not None and injector.state_touched)):
+            # exclusivity-set check: the natural parity of the Drusinsky
+            # encoding — recover to the declared safe state on violation
+            problems = guard.check_configuration(self.cr.configuration)
+            if problems:
+                self.cr.configuration = guard.on_illegal_configuration(
+                    self.cycle_count, problems)
+
         makespan = plan.makespan(lambda i: costs[i]) if plan else 0
         cycle_length = SLA_OVERHEAD_CYCLES + makespan
         step = MachineStep(
@@ -303,6 +425,8 @@ class PscpMachine:
             plan=plan,
             events_sampled=sampled,
             events_raised=frozenset(raised_names),
+            faults=() if injector is None else injector.drain_cycle_log(),
+            recoveries=() if guard is None else guard.drain_cycle_log(),
         )
         if tracer is not None:
             self._trace_cycle(tracer, step, plan, costs, retired,
@@ -312,6 +436,45 @@ class PscpMachine:
         if self._keep_history:
             self.history.append(step)
         return step
+
+    def _execute_dispatch(self, index: int, effect, budget: Optional[int]
+                          ) -> Tuple[int, bool, bool]:
+        """Run one dispatch under an optional injected *effect* (stall or
+        runaway fault) and an optional watchdog *budget*.
+
+        Returns ``(cost, completed, detected)``: the cycles charged, whether
+        the routine ran to completion (aborted/runaway routines have their
+        condition-cache copy-back and raised events suppressed), and whether
+        the watchdog caught the overrun.
+        """
+        from repro.fault.model import DEFAULT_RUNAWAY_CYCLES, TEP_RUNAWAY
+        from repro.pscp.tep import TepBudgetExceeded
+
+        executor = self.executor
+        entry = self.tat.entry(index)
+        if effect is not None and effect.kind == TEP_RUNAWAY:
+            # the routine never returns: without a watchdog the TEP is lost
+            # for DEFAULT_RUNAWAY_CYCLES; with one, it is aborted at budget
+            if budget is not None:
+                return budget, False, True
+            return (effect.param or DEFAULT_RUNAWAY_CYCLES), False, False
+        cycles_before = executor.cycles
+        depth = len(executor.call_stack)
+        limit = budget if budget is not None else 1_000_000
+        try:
+            cost = executor.run(entry, max_cycles=limit)
+        except TepBudgetExceeded:
+            # watchdog abort: charge exactly the budget, unwind the stack
+            del executor.call_stack[depth:]
+            executor.cycles = cycles_before + limit
+            return limit, False, budget is not None
+        if effect is not None:  # TEP_STALL: the routine ran, then hung
+            cost += effect.param
+            executor.cycles += effect.param
+            if budget is not None and cost > budget:
+                executor.cycles = cycles_before + budget
+                return budget, False, True
+        return cost, True, False
 
     def _trace_cycle(self, tracer, step: MachineStep,
                      plan: Optional[DispatchPlan], costs: Dict[int, int],

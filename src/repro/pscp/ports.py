@@ -37,6 +37,8 @@ class PortBus:
         self._writers: Dict[int, WriteHandler] = {}
         self._latches: Dict[int, int] = {}
         self.access_log: List[Tuple[str, int, int]] = []
+        #: fault injection: ``None`` keeps reads on the fault-free path
+        self.injector = None
 
     def map_read(self, address: int, handler: ReadHandler) -> None:
         self._readers[address] = handler
@@ -54,6 +56,8 @@ class PortBus:
             value = self._latches.get(address, 0)
         else:
             raise PortError(f"read from unmapped port 0x{address:x}")
+        if self.injector is not None:
+            value = self.injector.on_port_read(address, value)
         self.access_log.append(("r", address, value))
         return value
 

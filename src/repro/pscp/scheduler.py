@@ -62,6 +62,7 @@ def round_robin_dispatch(
     transition_indices: Sequence[int],
     routine_of: Callable[[int], Optional[str]],
     arch: ArchConfig,
+    available_teps: Optional[Sequence[int]] = None,
 ) -> DispatchPlan:
     """Assign this cycle's transitions to TEP queues.
 
@@ -69,17 +70,26 @@ def round_robin_dispatch(
     declared mutually exclusive with a routine already queued on another TEP
     is appended to *that* TEP's queue instead (serialization through the
     generated decode logic).
+
+    ``available_teps`` restricts the rotation to the given TEP indices (TEP
+    failover: survivors absorb the failed TEP's share, degrading timing
+    gracefully).  ``None`` means all of ``arch.n_teps`` — the default path is
+    bit-identical to the historical scheduler.
     """
+    teps = (list(available_teps) if available_teps is not None
+            else list(range(arch.n_teps)))
+    if not teps:
+        raise ValueError("no TEP available for dispatch")
     queues: List[List[int]] = [[] for _ in range(arch.n_teps)]
     order = sorted(transition_indices)
     diverted: List[Tuple[int, int]] = []
-    next_tep = 0
+    rotation = 0
     for index in order:
         routine = routine_of(index)
         target = None
         if routine is not None and arch.mutual_exclusions:
-            for tep, queue in enumerate(queues):
-                for queued in queue:
+            for tep in teps:
+                for queued in queues[tep]:
                     other = routine_of(queued)
                     if other is not None and arch.mutually_exclusive(routine, other):
                         target = tep
@@ -87,8 +97,8 @@ def round_robin_dispatch(
                 if target is not None:
                     break
         if target is None:
-            target = next_tep
-            next_tep = (next_tep + 1) % arch.n_teps
+            target = teps[rotation % len(teps)]
+            rotation += 1
         else:
             diverted.append((index, target))
         queues[target].append(index)

@@ -44,6 +44,13 @@ class TepError(Exception):
     """Raised on execution faults (bad operands, stack problems, runaway)."""
 
 
+class TepBudgetExceeded(TepError):
+    """Raised when a run exceeds its cycle budget (``max_cycles``).
+
+    The machine's watchdog catches this to abort the dispatch at the budget;
+    without a watchdog it surfaces as the runaway-execution guard."""
+
+
 class SimplePorts:
     """Dict-backed port bus for standalone tests."""
 
@@ -142,6 +149,14 @@ class Tep:
             return
         raise TepError(f"cannot write location {operand!r}")
 
+    def flip_memory_bit(self, operand: Operand, bit: int) -> int:
+        """Fault-injection hook: XOR one bit of a RAM/register word.
+
+        Returns the word's new value."""
+        value = self.read_location(operand) ^ (1 << bit)
+        self._write_location(operand, value)
+        return value & self.mask
+
     def read_variable(self, loc) -> int:
         """Read a (possibly multi-word) :class:`VarLoc` as a Python int."""
         value = 0
@@ -207,7 +222,7 @@ class Tep:
             self.cycles += cycle_cost(instruction, self.arch)
             self.instructions_executed += 1
             if self.cycles - start_cycles > max_cycles:
-                raise TepError(
+                raise TepBudgetExceeded(
                     f"runaway execution in {entry!r} (> {max_cycles} cycles)")
             if instruction.op is Op.TRET:
                 return self.cycles - start_cycles

@@ -57,6 +57,9 @@ class ClosedLoopReport:
     total_cycles: int
     configuration_cycles: int
     worst_latencies: Dict[str, Optional[int]]
+    #: True when the run exhausted ``max_configuration_cycles`` before
+    #: completing every command and draining the event queue
+    truncated: bool = False
 
     @property
     def all_deadlines_met(self) -> bool:
@@ -64,7 +67,8 @@ class ClosedLoopReport:
 
     @property
     def all_moves_completed(self) -> bool:
-        return self.commands_completed == self.commands_issued
+        return (self.commands_completed == self.commands_issued
+                and not self.truncated)
 
 
 class SmdClosedLoop:
@@ -75,7 +79,8 @@ class SmdClosedLoop:
 
     def __init__(self, system: BuiltSystem,
                  motor_specs: Optional[Dict[str, MotorSpec]] = None,
-                 tracer=None, metrics=None) -> None:
+                 tracer=None, metrics=None, injector=None,
+                 guard=None) -> None:
         self.system = system
         self.ports = PortBus()
         self.machine: PscpMachine = system.make_machine(port_bus=self.ports)
@@ -83,6 +88,11 @@ class SmdClosedLoop:
         #: observability (optional): a repro.obs Tracer / MetricsRegistry
         if tracer is not None:
             self.machine.attach_tracer(tracer)
+        #: robustness (optional): a FaultInjector / MachineGuard
+        if injector is not None:
+            self.machine.attach_injector(injector)
+        if guard is not None:
+            self.machine.attach_guard(guard)
         self.metrics = metrics
         specs = motor_specs or {"X": X_MOTOR, "Y": Y_MOTOR, "Phi": PHI_MOTOR}
         self.motors = {name: Motor(spec) for name, spec in specs.items()}
@@ -156,6 +166,7 @@ class SmdClosedLoop:
             self._apply_params(pending[0])
             self._issue_command(pending[0], machine.time)
         previous_time = -1
+        ran_to_completion = False
 
         for _ in range(max_configuration_cycles):
             now = machine.time
@@ -165,7 +176,7 @@ class SmdClosedLoop:
                 for when in motor.pulses_between(previous_time, now):
                     events.add(self._pulse_event[name])
                     self.monitor.arrival(self._pulse_event[name], when)
-                if (motor._pulses and not motor.moving
+                if (motor.has_work and not motor.moving
                         and not machine.condition(
                             self._finish_condition[name])):
                     events.add(self._steps_event[name])
@@ -175,14 +186,17 @@ class SmdClosedLoop:
                             for c in self._finish_condition.values())):
                 events.add("END_MOVE")
                 self._move_started = False
-                completed += 1
-                pending.pop(0)
+                # under fault injection a spurious completion can arrive
+                # after the command list drained; don't credit it
                 if pending:
-                    self._apply_params(pending[0])
-                    self._issue_command(pending[0], machine.time)
-                else:
-                    self.schedule(machine.time + self.COMMAND_PERIOD,
-                                  "BUF_EMPTY")
+                    completed += 1
+                    pending.pop(0)
+                    if pending:
+                        self._apply_params(pending[0])
+                        self._issue_command(pending[0], machine.time)
+                    else:
+                        self.schedule(machine.time + self.COMMAND_PERIOD,
+                                      "BUF_EMPTY")
             previous_time = now
 
             step = machine.step(events)
@@ -202,6 +216,7 @@ class SmdClosedLoop:
 
             if completed == len(commands) and not self._queue:
                 if all(not motor.moving for motor in self.motors.values()):
+                    ran_to_completion = True
                     break
 
         machine.flush_trace()
@@ -217,6 +232,7 @@ class SmdClosedLoop:
             configuration_cycles=machine.cycle_count,
             worst_latencies={report.event: report.worst_latency
                              for report in self.monitor.reports()},
+            truncated=not ran_to_completion,
         )
 
     def _publish_metrics(self, completed: int, issued: int) -> None:
@@ -240,3 +256,7 @@ class SmdClosedLoop:
             bridge.transfers
         metrics.counter("workload.commands_completed").value = completed
         metrics.counter("workload.commands_issued").value = issued
+        if machine.injector is not None:
+            machine.injector.publish(metrics)
+        if machine.guard is not None:
+            machine.guard.publish(metrics)

@@ -150,6 +150,11 @@ class Motor:
         return self._pulse_cursor < len(self._pulses)
 
     @property
+    def has_work(self) -> bool:
+        """True once a move has been commanded (finished or not)."""
+        return bool(self._pulses)
+
+    @property
     def steps_remaining(self) -> int:
         return len(self._pulses) - self._pulse_cursor
 
