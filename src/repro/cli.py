@@ -22,10 +22,12 @@ Observability subcommands (see docs/OBSERVABILITY.md)::
     python -m repro trace PROJECT [--out trace.json] [--cycles N] ...
     python -m repro stats PROJECT [--json] [--cycles N] ...
 
-Robustness subcommand (see docs/ROBUSTNESS.md)::
+Robustness subcommands (see docs/ROBUSTNESS.md and docs/RESILIENCE.md)::
 
     python -m repro faults PROJECT [--seed N] [--runs-per-class N]
                                    [--classes a,b,...] [--json]
+    python -m repro serve  PROJECT [--workers N] [--items N] [--seed N]
+                                   [--chaos] [--json]
 
 ``PROJECT`` is either a directory holding one ``*.sc`` chart and one
 ``*.c`` routine file (e.g. ``examples/smd``) or an explicit
@@ -34,7 +36,11 @@ writes Chrome trace-event JSON — open it at https://ui.perfetto.dev —
 with one track per TEP plus the SLA, scheduler and condition-cache bus;
 ``stats`` runs the same simulation and prints the metrics registry;
 ``faults`` runs seeded fault-injection campaigns over the SMD closed loop
-and reports detected/recovered/missed per fault class.
+and reports detected/recovered/missed per fault class; ``serve`` runs a
+supervised farm of machine instances over a seeded event stream — with
+``--chaos`` it injects per-worker fault plans and exercises
+restart-from-snapshot, load shedding and backpressure, then prints the
+conservation-checked farm report.
 """
 
 from __future__ import annotations
@@ -324,6 +330,11 @@ def run_faults(argv: List[str], out=sys.stdout) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a Chrome trace of the fault runs "
                              "(fault instants + recovery tracks)")
+    parser.add_argument("--faults-per-run", type=_positive_int, default=1,
+                        help="faults injected per run (default: 1)")
+    parser.add_argument("--restore-from-checkpoint", action="store_true",
+                        help="restore unrecoverable runs from the last "
+                             "checkpoint instead of counting them crashed")
     args = parser.parse_args(argv)
 
     from repro.fault import ALL_FAULT_KINDS, FaultCampaign
@@ -360,6 +371,8 @@ def run_faults(argv: List[str], out=sys.stdout) -> int:
         system, seed=args.seed, runs_per_class=args.runs_per_class,
         classes=classes,
         max_configuration_cycles=args.cycles or 20000,
+        faults_per_run=args.faults_per_run,
+        restore_from_checkpoint=args.restore_from_checkpoint,
         tracer=tracer, metrics=metrics)
     report = campaign.run()
     if tracer is not None:
@@ -381,6 +394,115 @@ def run_faults(argv: List[str], out=sys.stdout) -> int:
     return 0
 
 
+def run_serve(argv: List[str], out=sys.stdout) -> int:
+    """``repro serve``: a supervised machine farm over an event stream."""
+    parser = _sim_argument_parser(
+        "repro serve",
+        "run a supervised farm of PSCP machine instances over a seeded "
+        "event stream, with bounded queues, load shedding, circuit "
+        "breakers and restart-from-snapshot")
+    parser.add_argument("--workers", type=_positive_int, default=2,
+                        help="machine instances in the farm (default: 2)")
+    parser.add_argument("--items", type=_positive_int, default=200,
+                        help="work items in the stream (default: 200)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="stream and chaos seed (default: 1)")
+    parser.add_argument("--queue-capacity", type=_positive_int, default=8,
+                        help="per-worker admission queue depth (default: 8)")
+    parser.add_argument("--arrivals-per-tick", type=_positive_int, default=4,
+                        help="items offered per supervisor tick (default: 4)")
+    parser.add_argument("--batch", type=_positive_int, default=2,
+                        help="items each worker processes per tick "
+                             "(default: 2)")
+    parser.add_argument("--checkpoint-every", type=_positive_int, default=16,
+                        help="processed items between worker checkpoints "
+                             "(default: 16)")
+    parser.add_argument("--max-restarts", type=_positive_int, default=5,
+                        help="restarts before a worker fails permanently "
+                             "(default: 5)")
+    parser.add_argument("--no-shed", action="store_true",
+                        help="disable priority load shedding (full queues "
+                             "always reject)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject a seeded per-worker fault plan and "
+                             "exercise restart-from-snapshot")
+    parser.add_argument("--chaos-faults", type=_positive_int, default=6,
+                        help="faults per worker plan under --chaos "
+                             "(default: 6)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable farm report")
+    args = parser.parse_args(argv)
+
+    from repro.fault import FaultInjector, FaultPlan, FaultSurface, \
+        MachineGuard
+    from repro.fault.model import TEP_FAIL, TEP_RUNAWAY
+    from repro.obs import MetricsRegistry, metrics_summary
+    from repro.resil import RestartPolicy, Supervisor, generate_event_stream
+
+    try:
+        chart_text, routine_text = _load_sources(args.project, args.routines)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    chart = parse_chart(chart_text)
+    system = _build_for_simulation(chart, routine_text, args)
+
+    injector_factory = None
+    if args.chaos:
+        import random
+
+        surface = FaultSurface.from_system(system)
+        horizon = max(10, args.items // args.workers)
+
+        def injector_factory(worker_index: int):
+            rng = random.Random(args.seed * 6271 + worker_index)
+            plan = FaultPlan.generate(
+                rng, surface, [TEP_RUNAWAY, TEP_FAIL],
+                n_faults=args.chaos_faults, horizon=horizon)
+            return FaultInjector(plan)
+
+    def guard_factory():
+        # a tight retry budget keeps the chaos soak short: two consecutive
+        # runaway bites already escalate to the supervisor
+        return MachineGuard(max_retries=1, escalate_unrecoverable=True)
+
+    metrics = MetricsRegistry()
+    supervisor = Supervisor.for_system(
+        system,
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=RestartPolicy(max_restarts=args.max_restarts,
+                             checkpoint_every=args.checkpoint_every),
+        shed_enabled=not args.no_shed,
+        guard_factory=guard_factory,
+        injector_factory=injector_factory,
+        metrics=metrics)
+    stream = generate_event_stream(system.chart.events, args.items,
+                                   seed=args.seed)
+    report = supervisor.run(stream,
+                            arrivals_per_tick=args.arrivals_per_tick,
+                            batch_per_worker=args.batch)
+    violations = report.conservation()
+    if args.json:
+        json.dump({
+            "chart": chart.name,
+            "architecture": system.arch.describe(),
+            "farm": report.to_json(),
+            "metrics": metrics.collect(),
+        }, out, indent=2)
+        print(file=out)
+        return 1 if violations else 0
+    print(f"chart {chart.name!r} on {system.arch.describe()}: "
+          f"{args.workers} worker(s), {args.items} item(s), "
+          f"seed {args.seed}"
+          + (", chaos on" if args.chaos else ""), file=out)
+    print(file=out)
+    print(report.render(), file=out)
+    print(file=out)
+    print(metrics_summary(metrics), file=out)
+    return 1 if violations else 0
+
+
 def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace":
@@ -389,6 +511,8 @@ def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return run_stats(argv[1:], out)
     if argv and argv[0] == "faults":
         return run_faults(argv[1:], out)
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:], out)
     args = build_argument_parser().parse_args(argv)
 
     try:

@@ -21,8 +21,10 @@ from repro.fault.campaign import (
     RunResult,
 )
 from repro.fault.guard import (
+    ALL_TEPS_FAILED,
     Detection,
     ILLEGAL_CONFIGURATION,
+    MachineEscalation,
     MachineGuard,
     RETRY_EXHAUSTED,
     TEP_FAILOVER,
@@ -45,6 +47,7 @@ from repro.fault.model import (
 
 __all__ = [
     "ALL_FAULT_KINDS",
+    "ALL_TEPS_FAILED",
     "CampaignReport",
     "ClassStats",
     "DEFAULT_CLASSES",
@@ -61,6 +64,7 @@ __all__ = [
     "ILLEGAL_CONFIGURATION",
     "ILLEGAL_CONFIG_KINDS",
     "InjectedFault",
+    "MachineEscalation",
     "MachineGuard",
     "RETRY_EXHAUSTED",
     "RunResult",

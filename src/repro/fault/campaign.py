@@ -23,7 +23,11 @@ Vocabulary (per run):
   a CR state flip that decodes to a *legal* configuration);
 * **silent** — the class has no detector claiming it (data corruption such
   as RAM/cache/port faults degrades results rather than structure); these
-  runs are reported by workload outcome only.
+  runs are reported by workload outcome only;
+* **restored** — with ``restore_from_checkpoint=True``, an unrecoverable
+  fault escalated out of the machine and the closed loop restarted it from
+  its last checkpoint at least once (the fourth rung of the degradation
+  ladder: detect, recover in-cycle, restore-from-checkpoint, crash).
 """
 
 from __future__ import annotations
@@ -78,6 +82,7 @@ class RunResult:
     completed_moves: bool
     truncated: bool
     deadline_misses: int
+    restored: bool = False
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -94,6 +99,7 @@ class RunResult:
             "completed_moves": self.completed_moves,
             "truncated": self.truncated,
             "deadline_misses": self.deadline_misses,
+            "restored": self.restored,
         }
 
 
@@ -111,6 +117,7 @@ class ClassStats:
     crashed: int = 0
     completed_moves: int = 0
     deadline_misses: int = 0
+    restored: int = 0
 
     def absorb(self, result: RunResult) -> None:
         self.runs += 1
@@ -122,6 +129,7 @@ class ClassStats:
         self.crashed += int(result.crashed)
         self.completed_moves += int(result.completed_moves)
         self.deadline_misses += result.deadline_misses
+        self.restored += int(result.restored)
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -135,6 +143,7 @@ class ClassStats:
             "crashed": self.crashed,
             "completed_moves": self.completed_moves,
             "deadline_misses": self.deadline_misses,
+            "restored": self.restored,
         }
 
 
@@ -170,13 +179,13 @@ class CampaignReport:
 
         rows = [
             (stats.fault_class, stats.runs, stats.injected, stats.detected,
-             stats.recovered, stats.missed, stats.silent,
+             stats.recovered, stats.restored, stats.missed, stats.silent,
              f"{stats.completed_moves}/{stats.runs}", stats.deadline_misses)
             for stats in self.class_stats
         ]
         return ascii_table(
             ["Fault class", "Runs", "Injected", "Detected", "Recovered",
-             "Missed", "Silent", "Moves done", "DL misses"],
+             "Restored", "Missed", "Silent", "Moves done", "DL misses"],
             rows,
             title=(f"Fault campaign: seed {self.seed}, "
                    f"{self.runs_per_class} run(s)/class, baseline "
@@ -187,7 +196,7 @@ class CampaignReport:
         for stats in self.class_stats:
             for name in ("runs", "injected", "detected", "recovered",
                          "missed", "silent", "crashed", "completed_moves",
-                         "deadline_misses"):
+                         "deadline_misses", "restored"):
                 setattr(total, name,
                         getattr(total, name) + getattr(stats, name))
         metrics.counter("campaign.runs", "fault runs executed").value = \
@@ -202,6 +211,9 @@ class CampaignReport:
             total.completed_moves
         metrics.counter("campaign.deadline_misses").value = \
             total.deadline_misses
+        metrics.counter("campaign.restored",
+                        "runs restarted from a checkpoint").value = \
+            total.restored
 
 
 class FaultCampaign:
@@ -219,6 +231,9 @@ class FaultCampaign:
         faults_per_run: int = 1,
         tracer=None,
         metrics=None,
+        restore_from_checkpoint: bool = False,
+        checkpoint_every: int = 50,
+        max_restarts: int = 3,
     ) -> None:
         unknown = set(classes) - set(ALL_FAULT_KINDS)
         if unknown:
@@ -233,6 +248,11 @@ class FaultCampaign:
         self.faults_per_run = faults_per_run
         self.tracer = tracer
         self.metrics = metrics
+        #: escalate unrecoverable faults and restart the loop from its last
+        #: checkpoint instead of counting the run as crashed
+        self.restore_from_checkpoint = restore_from_checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.max_restarts = max_restarts
         self.surface = FaultSurface.from_system(system)
 
     # -- pieces ------------------------------------------------------------
@@ -269,7 +289,8 @@ class FaultCampaign:
                                   n_faults=self.faults_per_run,
                                   horizon=horizon)
         injector = FaultInjector(plan)
-        guard = MachineGuard()
+        guard = MachineGuard(
+            escalate_unrecoverable=self.restore_from_checkpoint)
         loop = self._closed_loop(injector=injector, guard=guard,
                                  tracer=self.tracer)
         commands = (self.commands if self.commands is not None
@@ -279,7 +300,11 @@ class FaultCampaign:
         try:
             report = loop.run(commands,
                               max_configuration_cycles=
-                              self.max_configuration_cycles)
+                              self.max_configuration_cycles,
+                              restore_from_checkpoint=
+                              self.restore_from_checkpoint,
+                              checkpoint_every=self.checkpoint_every,
+                              max_restarts=self.max_restarts)
         except MachineError:
             crashed = True
 
@@ -307,6 +332,7 @@ class FaultCampaign:
             truncated=report.truncated if report is not None else True,
             deadline_misses=(sum(d.misses for d in report.deadline_reports)
                              if report is not None else 0),
+            restored=report is not None and report.restarts > 0,
         )
 
     # -- the campaign ------------------------------------------------------

@@ -33,11 +33,43 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.pscp.machine import MachineError
+
 #: detection kinds
 WATCHDOG_ABORT = "watchdog-abort"
 ILLEGAL_CONFIGURATION = "illegal-configuration"
 TEP_FAILOVER = "tep-failover"
 RETRY_EXHAUSTED = "retry-exhausted"
+ALL_TEPS_FAILED = "all-teps-failed"
+
+
+class MachineEscalation(MachineError):
+    """An unrecoverable fault, escalated for supervision.
+
+    Raised out of :meth:`PscpMachine.step` when a guard constructed with
+    ``escalate_unrecoverable=True`` exhausts its in-cycle recovery options:
+    retries exhausted, repeated failed exclusivity recovery, or every TEP
+    failed.  Subclasses :class:`~repro.pscp.machine.MachineError`, so code
+    that treats machine errors as crashes keeps working; a supervisor
+    catches it specifically and restarts the machine from its last
+    checkpoint instead.
+    """
+
+    def __init__(self, kind: str, cycle: int, target: object = None,
+                 detail: str = "") -> None:
+        self.kind = kind
+        self.cycle = cycle
+        self.target = target
+        self.detail = detail
+        super().__init__(self.describe())
+
+    def describe(self) -> str:
+        text = f"unrecoverable {self.kind}@{self.cycle}"
+        if self.target is not None:
+            text += f" target={self.target}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
 
 
 @dataclass
@@ -108,6 +140,8 @@ class MachineGuard:
         max_retries: int = 3,
         backoff_base: int = 1,
         safe_state: Optional[Iterable[str]] = None,
+        escalate_unrecoverable: bool = False,
+        max_consecutive_illegal: int = 3,
     ) -> None:
         if watchdog_margin < 1.0:
             raise ValueError("watchdog margin must be >= 1 (the WCET bound)")
@@ -115,6 +149,13 @@ class MachineGuard:
         self.watchdog_slack = watchdog_slack
         self.max_retries = max_retries
         self.backoff_base = max(1, backoff_base)
+        #: raise :class:`MachineEscalation` out of the cycle when in-cycle
+        #: recovery is exhausted, instead of limping on (farm mode)
+        self.escalate_unrecoverable = escalate_unrecoverable
+        #: consecutive failed exclusivity recoveries before escalating
+        self.max_consecutive_illegal = max(1, max_consecutive_illegal)
+        self._consecutive_illegal = 0
+        self.escalation_count = 0
         self._safe_state_override = (frozenset(safe_state)
                                      if safe_state is not None else None)
         self.machine = None
@@ -197,12 +238,16 @@ class MachineGuard:
                 f"budget {self.budgets.get(transition_index, '?')} exceeded"))
             self._open_aborts[transition_index] = detection
         if attempts > self.max_retries:
+            detail = f"gave up after {attempts - 1} retries"
             self._record(Detection(
-                RETRY_EXHAUSTED, cycle, transition_index,
-                f"gave up after {attempts - 1} retries"))
+                RETRY_EXHAUSTED, cycle, transition_index, detail))
             self.retries_exhausted += 1
             del self._open_aborts[transition_index]
             del self._attempts[transition_index]
+            if self.escalate_unrecoverable:
+                self.escalation_count += 1
+                raise MachineEscalation(
+                    RETRY_EXHAUSTED, cycle, transition_index, detail)
             return
         # exponential backoff in configuration cycles: 1, 2, 4, ...
         backoff = self.backoff_base * (1 << (attempts - 1))
@@ -239,17 +284,52 @@ class MachineGuard:
 
     # -- exclusivity checker -----------------------------------------------
     def check_configuration(self, configuration: FrozenSet[str]) -> List[str]:
-        return configuration_problems(self.machine.chart, configuration)
+        problems = configuration_problems(self.machine.chart, configuration)
+        if not problems:
+            self._consecutive_illegal = 0
+        return problems
 
     def on_illegal_configuration(self, cycle: int,
                                  problems: List[str]) -> FrozenSet[str]:
-        """Record the detection; returns the configuration to recover to."""
+        """Record the detection; returns the configuration to recover to.
+
+        Safe-state recovery normally succeeds in one shot; if the very next
+        checks keep finding an illegal configuration, recovery itself is
+        failing (e.g. the corruption re-bites every cycle) and, in farm
+        mode, the guard escalates instead of looping forever.
+        """
         self.illegal_configurations += 1
+        self._consecutive_illegal += 1
+        if (self.escalate_unrecoverable
+                and self._consecutive_illegal >= self.max_consecutive_illegal):
+            detail = (f"safe-state recovery failed "
+                      f"{self._consecutive_illegal} consecutive times: "
+                      + "; ".join(problems))
+            self._record(Detection(
+                ILLEGAL_CONFIGURATION, cycle, None, detail))
+            self.escalation_count += 1
+            raise MachineEscalation(ILLEGAL_CONFIGURATION, cycle, None,
+                                    detail)
         self.safe_state_recoveries += 1
         self._record(Detection(
             ILLEGAL_CONFIGURATION, cycle, None,
             "; ".join(problems), recovered=True))
         return self.safe_state
+
+    def on_all_teps_failed(self, cycle: int) -> None:
+        """The last TEP failed: nothing can execute routines any more.
+
+        Records the terminal detection; in farm mode raises
+        :class:`MachineEscalation` so a supervisor restarts from snapshot,
+        otherwise returns and the machine raises its usual fatal
+        :class:`MachineError`.
+        """
+        self._record(Detection(
+            ALL_TEPS_FAILED, cycle, None, "no executor survives"))
+        if self.escalate_unrecoverable:
+            self.escalation_count += 1
+            raise MachineEscalation(ALL_TEPS_FAILED, cycle, None,
+                                    "no executor survives")
 
     # -- failover ----------------------------------------------------------
     def on_tep_failed(self, cycle: int, tep_index: int,
@@ -258,6 +338,21 @@ class MachineGuard:
         self._record(Detection(
             TEP_FAILOVER, cycle, tep_index,
             f"survivors {survivors}", recovered=bool(survivors)))
+
+    # -- supervision -------------------------------------------------------
+    def reset_transient(self) -> None:
+        """Clear in-flight recovery state after a restart-from-snapshot.
+
+        Scheduled retries, open aborts, attempt counts and the
+        consecutive-illegal streak refer to the timeline the restore just
+        discarded; cumulative counters and the detection log are history and
+        survive.
+        """
+        self._retry_heap.clear()
+        self._attempts.clear()
+        self._open_aborts.clear()
+        self._cycle_log.clear()
+        self._consecutive_illegal = 0
 
     # -- reporting ---------------------------------------------------------
     def publish(self, metrics) -> None:
@@ -277,3 +372,6 @@ class MachineGuard:
         metrics.counter("guard.safe_state_recoveries").value = \
             self.safe_state_recoveries
         metrics.counter("guard.tep_failovers").value = self.tep_failovers
+        metrics.counter("guard.escalations",
+                        "unrecoverable faults escalated").value = \
+            self.escalation_count

@@ -155,12 +155,29 @@ class FaultInjector:
     # -- hook: cycle-addressed state corruption ----------------------------
     def apply_cycle_faults(self, cycle: int, machine) -> None:
         """CR bit flips, RAM flips, TEP failures and port stuck-ats due at
-        or before *cycle*.  Called right after event sampling."""
+        or before *cycle*.  Called right after event sampling.
+
+        Exception-safe on purpose: a TEP_FAIL that kills the last TEP makes
+        :meth:`PscpMachine.fail_tep` raise (possibly a
+        :class:`~repro.fault.guard.MachineEscalation`), and the fault that
+        bit must stay consumed — otherwise a restore-from-checkpoint would
+        re-arm it and escalate forever.
+        """
         self.state_touched = False
         if not self._cycle_faults:
             return
+        pending = self._cycle_faults
         remaining: List[Fault] = []
-        for fault in self._cycle_faults:
+        try:
+            self._apply_cycle_faults(cycle, machine, pending, remaining)
+        finally:
+            self._cycle_faults = remaining + pending
+
+    def _apply_cycle_faults(self, cycle: int, machine,
+                            pending: List[Fault],
+                            remaining: List[Fault]) -> None:
+        while pending:
+            fault = pending.pop(0)
             if cycle < fault.cycle:
                 remaining.append(fault)
                 continue
@@ -185,8 +202,10 @@ class FaultInjector:
                 self._record(fault.kind, cycle, fault.target,
                              f"bit {fault.param} -> {value}")
             elif fault.kind == TEP_FAIL:
-                machine.fail_tep(fault.target)
+                # log first: fail_tep raises when no TEP survives, and the
+                # bite must be on record (and the fault consumed) even then
                 self._record(fault.kind, cycle, fault.target, "TEP failed")
+                machine.fail_tep(fault.target)
             elif fault.kind == PORT_STUCK:
                 self._stuck_ports[fault.target] = fault.param
                 self._record(fault.kind, cycle, fault.target,
@@ -198,7 +217,6 @@ class FaultInjector:
             else:  # pragma: no cover - defensive
                 remaining.append(fault)
                 continue
-        self._cycle_faults = remaining
 
     # -- hook: the SLA outputs ---------------------------------------------
     def filter_enabled(self, cycle: int, enabled: List[int]) -> List[int]:

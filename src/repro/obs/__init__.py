@@ -29,12 +29,14 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    ScopedRegistry,
 )
 from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
 
 __all__ = [
     "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FlowProfile", "Gauge",
-    "Histogram", "INSTANT", "MetricsRegistry", "RungProfile", "SPAN",
+    "Histogram", "INSTANT", "MetricsRegistry", "RungProfile",
+    "ScopedRegistry", "SPAN",
     "Tracer", "chrome_trace", "chrome_trace_events", "metrics_summary",
     "trace_summary", "write_chrome_trace",
 ]

@@ -150,6 +150,12 @@ class MetricsRegistry:
         return self._get(name, lambda: Histogram(name, help, buckets),
                          Histogram)
 
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A view creating instruments under ``prefix.`` — the idiom for
+        per-worker metrics (``farm.worker0.queue_depth``) without every
+        publisher hand-formatting names."""
+        return ScopedRegistry(self, prefix)
+
     # -- reading back -----------------------------------------------------
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
@@ -199,3 +205,31 @@ class MetricsRegistry:
                 rendered = str(data["value"])
             rows.append((name, data["type"], rendered))
         return rows
+
+
+class ScopedRegistry:
+    """A name-prefixing view over a :class:`MetricsRegistry`.
+
+    Instruments live in (and are collected from) the parent registry; the
+    view only joins ``prefix`` onto every name.
+    """
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}", help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._registry.gauge(f"{self._prefix}.{name}", help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[int]] = None) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", help,
+                                        buckets)
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._registry, f"{self._prefix}.{prefix}")

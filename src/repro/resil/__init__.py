@@ -1,0 +1,52 @@
+"""Resilience: checkpoint/restore and a supervised PSCP machine farm.
+
+``snapshot``
+    Versioned, deterministic, JSON-serializable capture of a machine's
+    complete architectural state, with byte-identical round-trip restore.
+``queue``
+    Bounded admission queues with backpressure, priority load shedding,
+    and per-worker circuit breakers.
+``supervisor``
+    A farm of N supervised machines over a shared event stream with
+    restart-from-snapshot and conservation-checked accounting.
+"""
+
+from repro.resil.snapshot import (
+    SNAPSHOT_VERSION,
+    MachineSnapshot,
+    SnapshotError,
+    restore_machine,
+    snapshot_machine,
+)
+from repro.resil.queue import (
+    Admission,
+    BoundedQueue,
+    CircuitBreaker,
+    WorkItem,
+)
+from repro.resil.supervisor import (
+    FarmLedger,
+    FarmReport,
+    MachineWorker,
+    RestartPolicy,
+    Supervisor,
+    generate_event_stream,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "MachineSnapshot",
+    "SnapshotError",
+    "snapshot_machine",
+    "restore_machine",
+    "WorkItem",
+    "Admission",
+    "BoundedQueue",
+    "CircuitBreaker",
+    "RestartPolicy",
+    "FarmLedger",
+    "FarmReport",
+    "MachineWorker",
+    "Supervisor",
+    "generate_event_stream",
+]

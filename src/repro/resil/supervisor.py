@@ -1,0 +1,521 @@
+"""A supervised farm of PSCP machines: restart-from-snapshot under faults.
+
+The paper's PSCP is *scalable* — an array of reactive processors — and the
+ROADMAP's north star is a production-scale service.  This module provides
+the supervision layer between the two: a :class:`Supervisor` runs N
+:class:`MachineWorker` instances over a shared stream of
+:class:`~repro.resil.queue.WorkItem`\\ s with
+
+* **bounded admission queues** — every worker owns a
+  :class:`~repro.resil.queue.BoundedQueue`; a full queue rejects with a
+  reason (backpressure) or sheds its lowest-priority pending item to admit
+  higher-priority traffic (load shedding);
+* **per-worker circuit breakers** — consecutive failures open the breaker,
+  diverting traffic away during the cooldown, with a half-open probe before
+  it closes again;
+* **restart-from-snapshot** — each worker checkpoints its machine every
+  ``checkpoint_every`` processed items
+  (:func:`~repro.resil.snapshot.snapshot_machine`); when an unrecoverable
+  fault escalates out of the machine
+  (:class:`~repro.fault.guard.MachineEscalation`), the worker restores its
+  last checkpoint after a bounded exponential backoff and re-runs the
+  in-flight item.  Restarts are restored with
+  ``restore_attachments=False``: a fault that already bit stays consumed,
+  so a single fault cannot wedge a worker in an escalation loop;
+* **a terminal state** — after ``max_restarts`` restarts the worker is
+  marked permanently failed; its queue is drained and every pending item
+  reported shed (``worker-failed``), never silently lost.
+
+Accounting is conservation-checked: ``submitted = accepted + rejected`` and
+``accepted = processed + shed + in-flight``, with each item counted exactly
+once (:meth:`FarmReport.conservation`).  The whole farm is deterministic —
+no wall clock, no OS threads; time is the supervisor's integer tick — so a
+seeded chaos soak is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.resil.queue import (
+    BoundedQueue,
+    CircuitBreaker,
+    REJECT_CIRCUIT_OPEN,
+    REJECT_QUEUE_FULL,
+    REJECT_WORKER_FAILED,
+    SHED_OVERLOAD,
+    SHED_WORKER_FAILED,
+    WorkItem,
+)
+from repro.resil.snapshot import MachineSnapshot, snapshot_machine, \
+    restore_machine
+
+#: worker lifecycle states
+RUNNING = "running"
+BACKOFF = "backoff"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How a worker restarts after an escalated (unrecoverable) fault."""
+
+    max_restarts: int = 3
+    backoff_base_ticks: int = 2
+    backoff_cap_ticks: int = 32
+    checkpoint_every: int = 16
+
+    def backoff(self, restarts_used: int) -> int:
+        """Bounded exponential backoff: base * 2^restarts, capped."""
+        return min(self.backoff_base_ticks * (1 << restarts_used),
+                   self.backoff_cap_ticks)
+
+
+@dataclass
+class FarmLedger:
+    """The farm's conservation-checked accounting, shared by all workers."""
+
+    submitted: int = 0
+    accepted: int = 0
+    processed: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    shed: Dict[str, int] = field(default_factory=dict)
+    escalations: int = 0
+    restarts: int = 0
+    permanent_failures: int = 0
+    checkpoints: int = 0
+    time_to_recover: List[int] = field(default_factory=list)
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def drop(self, reason: str, count: int = 1) -> None:
+        if count:
+            self.shed[reason] = self.shed.get(reason, 0) + count
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+
+class MachineWorker:
+    """One supervised machine instance with its queue and checkpoint."""
+
+    def __init__(self, name: str, machine_factory: Callable[[], Any],
+                 ledger: FarmLedger, policy: RestartPolicy,
+                 queue_capacity: int = 32, shed_enabled: bool = True,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.name = name
+        self.ledger = ledger
+        self.policy = policy
+        self.queue = BoundedQueue(queue_capacity, shed_enabled=shed_enabled)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.machine = machine_factory()
+        self.state = RUNNING
+        self.processed = 0
+        self.restarts_used = 0
+        self.restored_from_snapshot = 0
+        self._since_checkpoint = 0
+        self._resume_at: Optional[int] = None
+        self._failed_at: Optional[int] = None
+        self.last_escalation: Optional[str] = None
+        #: restart-from-snapshot anchor; taken at start so a restart is
+        #: always defined, refreshed every ``checkpoint_every`` items
+        self.checkpoint: MachineSnapshot = self._take_checkpoint()
+
+    # -- checkpointing -----------------------------------------------------
+    def _take_checkpoint(self) -> MachineSnapshot:
+        snapshot = snapshot_machine(self.machine,
+                                    include_attachments=False)
+        self.ledger.checkpoints += 1
+        self._since_checkpoint = 0
+        return snapshot
+
+    # -- admission ---------------------------------------------------------
+    def offer(self, item: WorkItem, tick: int) -> bool:
+        """Route one item to this worker; returns True when accepted."""
+        if self.state == FAILED:
+            self.ledger.reject(REJECT_WORKER_FAILED)
+            return False
+        if not self.breaker.admits(tick):
+            self.ledger.reject(REJECT_CIRCUIT_OPEN)
+            return False
+        admission = self.queue.offer(item)
+        if not admission.accepted:
+            self.ledger.reject(admission.reason or REJECT_QUEUE_FULL)
+            return False
+        self.ledger.accepted += 1
+        if admission.shed is not None:
+            # the evicted item was accepted earlier; it leaves as shed
+            self.ledger.drop(SHED_OVERLOAD)
+        return True
+
+    # -- the work loop -----------------------------------------------------
+    def advance(self, tick: int, batch: int) -> None:
+        """Run this worker for one supervisor tick."""
+        if self.state == BACKOFF:
+            if tick >= (self._resume_at or 0):
+                self._restart(tick)
+            else:
+                return
+        if self.state != RUNNING:
+            return
+        for _ in range(batch):
+            item = self.queue.pop()
+            if item is None:
+                return
+            if not self._process(item, tick):
+                return
+
+    def _process(self, item: WorkItem, tick: int) -> bool:
+        from repro.fault.guard import MachineEscalation
+        from repro.pscp.machine import MachineError
+
+        try:
+            self.machine.step(item.events)
+        except MachineEscalation as exc:
+            self._on_failure(item, tick, exc.describe())
+            return False
+        except MachineError as exc:
+            # an un-escalated crash is supervised the same way
+            self._on_failure(item, tick, f"crash: {exc}")
+            return False
+        self.processed += 1
+        self.ledger.processed += 1
+        self.breaker.record_success()
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.policy.checkpoint_every:
+            self.checkpoint = self._take_checkpoint()
+        return True
+
+    def _on_failure(self, item: WorkItem, tick: int, detail: str) -> None:
+        self.ledger.escalations += 1
+        self.last_escalation = detail
+        self.breaker.record_failure(tick)
+        if self.restarts_used >= self.policy.max_restarts:
+            self._fail_permanently(item)
+            return
+        # the in-flight item goes back to the head: it is retried from the
+        # restored snapshot, so it stays in-flight, not lost
+        self.queue.push_front(item)
+        self.state = BACKOFF
+        self._failed_at = tick
+        self._resume_at = tick + self.policy.backoff(self.restarts_used)
+
+    def _restart(self, tick: int) -> None:
+        """Restore the machine from the last checkpoint and resume.
+
+        ``restore_attachments=False`` keeps the injector's already-bitten
+        faults consumed and the guard's transient retry state cleared — a
+        restart is a fresh start from known-good architectural state.
+        """
+        restore_machine(self.machine, self.checkpoint,
+                        restore_attachments=False)
+        if self.machine.guard is not None:
+            self.machine.guard.reset_transient()
+        self.restarts_used += 1
+        self.restored_from_snapshot += 1
+        self.ledger.restarts += 1
+        if self._failed_at is not None:
+            self.ledger.time_to_recover.append(tick - self._failed_at)
+            self._failed_at = None
+        self.state = RUNNING
+
+    def _fail_permanently(self, in_flight: Optional[WorkItem]) -> None:
+        self.state = FAILED
+        self.ledger.permanent_failures += 1
+        drained = self.queue.drain()
+        count = len(drained) + (1 if in_flight is not None else 0)
+        self.ledger.drop(SHED_WORKER_FAILED, count)
+
+    # -- reporting ---------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "processed": self.processed,
+            "queue_depth": len(self.queue),
+            "queue_high_watermark": self.queue.high_watermark,
+            "restarts": self.restarts_used,
+            "breaker": self.breaker.state,
+            "breaker_opened": self.breaker.opened_count,
+            "last_escalation": self.last_escalation,
+        }
+
+
+@dataclass
+class FarmReport:
+    """Outcome of one supervised run, conservation-checked."""
+
+    ticks: int
+    workers: List[Dict[str, Any]]
+    submitted: int
+    accepted: int
+    processed: int
+    rejected: Dict[str, int]
+    shed: Dict[str, int]
+    in_flight: int
+    escalations: int
+    restarts: int
+    permanent_failures: int
+    checkpoints: int
+    time_to_recover: List[int]
+
+    def conservation(self) -> List[str]:
+        """Violations of the no-silent-loss ledger; empty when sound.
+
+        Every submitted item is accepted or rejected; every accepted item
+        is processed, shed (with a reason) or still in flight.
+        """
+        problems: List[str] = []
+        rejected = sum(self.rejected.values())
+        shed = sum(self.shed.values())
+        if self.submitted != self.accepted + rejected:
+            problems.append(
+                f"submitted {self.submitted} != accepted {self.accepted} "
+                f"+ rejected {rejected}")
+        if self.accepted != self.processed + shed + self.in_flight:
+            problems.append(
+                f"accepted {self.accepted} != processed {self.processed} "
+                f"+ shed {shed} + in-flight {self.in_flight}")
+        return problems
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ticks": self.ticks,
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "processed": self.processed,
+            "rejected": dict(sorted(self.rejected.items())),
+            "shed": dict(sorted(self.shed.items())),
+            "in_flight": self.in_flight,
+            "escalations": self.escalations,
+            "restarts": self.restarts,
+            "permanent_failures": self.permanent_failures,
+            "checkpoints": self.checkpoints,
+            "time_to_recover": self.time_to_recover,
+            "conservation_violations": self.conservation(),
+        }
+
+    def render(self) -> str:
+        from repro.flow import ascii_table
+
+        rows = [(w["name"], w["state"], w["processed"], w["queue_depth"],
+                 w["queue_high_watermark"], w["restarts"], w["breaker"])
+                for w in self.workers]
+        table = ascii_table(
+            ["Worker", "State", "Processed", "Queue", "HWM", "Restarts",
+             "Breaker"],
+            rows,
+            title=(f"Farm: {self.submitted} submitted, "
+                   f"{self.processed} processed, "
+                   f"{sum(self.shed.values())} shed, "
+                   f"{sum(self.rejected.values())} rejected, "
+                   f"{self.restarts} restart(s)"))
+        problems = self.conservation()
+        verdict = ("conservation OK" if not problems
+                   else "CONSERVATION VIOLATED: " + "; ".join(problems))
+        return table + "\n" + verdict
+
+
+class Supervisor:
+    """Routes a work stream over N supervised machine workers."""
+
+    def __init__(self, workers: Sequence[MachineWorker],
+                 ledger: FarmLedger, metrics=None) -> None:
+        if not workers:
+            raise ValueError("a farm needs at least one worker")
+        self.workers = list(workers)
+        self.ledger = ledger
+        self.metrics = metrics
+        self.tick = 0
+
+    @classmethod
+    def for_system(cls, system, n_workers: int = 2,
+                   queue_capacity: int = 32,
+                   policy: Optional[RestartPolicy] = None,
+                   shed_enabled: bool = True,
+                   guard_factory: Optional[Callable[[], Any]] = None,
+                   injector_factory: Optional[
+                       Callable[[int], Any]] = None,
+                   breaker_factory: Optional[
+                       Callable[[], CircuitBreaker]] = None,
+                   metrics=None) -> "Supervisor":
+        """Build a farm of fresh machines over one built system.
+
+        ``guard_factory`` returns a fresh
+        :class:`~repro.fault.guard.MachineGuard` per worker (defaults to one
+        with escalation enabled); ``injector_factory(worker_index)`` returns
+        a per-worker :class:`~repro.fault.injector.FaultInjector` — the
+        chaos hook — or ``None``.
+        """
+        from repro.fault.guard import MachineGuard
+
+        policy = policy if policy is not None else RestartPolicy()
+        ledger = FarmLedger()
+        workers = []
+        for index in range(n_workers):
+            def factory(index=index):
+                machine = system.make_machine()
+                if injector_factory is not None:
+                    injector = injector_factory(index)
+                    if injector is not None:
+                        machine.attach_injector(injector)
+                guard = (guard_factory() if guard_factory is not None
+                         else MachineGuard(escalate_unrecoverable=True))
+                machine.attach_guard(guard)
+                return machine
+            breaker = (breaker_factory() if breaker_factory is not None
+                       else CircuitBreaker())
+            workers.append(MachineWorker(
+                f"worker{index}", factory, ledger, policy,
+                queue_capacity=queue_capacity, shed_enabled=shed_enabled,
+                breaker=breaker))
+        return cls(workers, ledger, metrics=metrics)
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, item: WorkItem) -> bool:
+        """Admit one item: the preferred worker is ``seq % N``; failed
+        workers are probed past, but a live worker's backpressure is final
+        (no spillover — the producer is told to slow down)."""
+        self.ledger.submitted += 1
+        n = len(self.workers)
+        preferred = item.seq % n
+        for offset in range(n):
+            worker = self.workers[(preferred + offset) % n]
+            if worker.state == FAILED:
+                continue
+            return worker.offer(item, self.tick)
+        self.ledger.reject(REJECT_WORKER_FAILED)
+        return False
+
+    # -- the drive loop ----------------------------------------------------
+    def run(self, stream: Iterable[WorkItem], arrivals_per_tick: int = 4,
+            batch_per_worker: int = 2, max_ticks: int = 100000
+            ) -> FarmReport:
+        """Drive the farm until the stream drains and the queues empty."""
+        pending = list(stream)
+        cursor = 0
+        ticks = 0
+        while ticks < max_ticks:
+            ticks += 1
+            self.tick = ticks
+            burst = pending[cursor:cursor + arrivals_per_tick]
+            cursor += len(burst)
+            for item in burst:
+                self.submit(item)
+            for worker in self.workers:
+                worker.advance(ticks, batch_per_worker)
+            if cursor >= len(pending) and self._drained():
+                break
+        return self.report(ticks)
+
+    def _drained(self) -> bool:
+        for worker in self.workers:
+            if worker.state == BACKOFF:
+                return False
+            if worker.state == RUNNING and len(worker.queue):
+                return False
+        return True
+
+    # -- reporting ---------------------------------------------------------
+    def report(self, ticks: Optional[int] = None) -> FarmReport:
+        ledger = self.ledger
+        report = FarmReport(
+            ticks=ticks if ticks is not None else self.tick,
+            workers=[worker.describe() for worker in self.workers],
+            submitted=ledger.submitted,
+            accepted=ledger.accepted,
+            processed=ledger.processed,
+            rejected=dict(ledger.rejected),
+            shed=dict(ledger.shed),
+            in_flight=sum(len(worker.queue) for worker in self.workers),
+            escalations=ledger.escalations,
+            restarts=ledger.restarts,
+            permanent_failures=ledger.permanent_failures,
+            checkpoints=ledger.checkpoints,
+            time_to_recover=list(ledger.time_to_recover),
+        )
+        if self.metrics is not None:
+            self.publish(self.metrics, report)
+        return report
+
+    def publish(self, metrics, report: Optional[FarmReport] = None) -> None:
+        """Publish supervisor counters into a metrics registry."""
+        if report is None:
+            report = FarmReport(
+                ticks=self.tick,
+                workers=[worker.describe() for worker in self.workers],
+                submitted=self.ledger.submitted,
+                accepted=self.ledger.accepted,
+                processed=self.ledger.processed,
+                rejected=dict(self.ledger.rejected),
+                shed=dict(self.ledger.shed),
+                in_flight=sum(len(w.queue) for w in self.workers),
+                escalations=self.ledger.escalations,
+                restarts=self.ledger.restarts,
+                permanent_failures=self.ledger.permanent_failures,
+                checkpoints=self.ledger.checkpoints,
+                time_to_recover=list(self.ledger.time_to_recover),
+            )
+        metrics.counter("farm.submitted",
+                        "work items offered to the farm").value = \
+            report.submitted
+        metrics.counter("farm.accepted").value = report.accepted
+        metrics.counter("farm.processed").value = report.processed
+        for reason, count in sorted(report.rejected.items()):
+            metrics.counter(f"farm.rejected.{reason}").value = count
+        for reason, count in sorted(report.shed.items()):
+            metrics.counter(f"farm.shed.{reason}").value = count
+        metrics.gauge("farm.in_flight",
+                      "items queued at report time").set(report.in_flight)
+        metrics.counter("farm.escalations",
+                        "unrecoverable faults escalated").value = \
+            report.escalations
+        metrics.counter("farm.restarts",
+                        "restarts from snapshot").value = report.restarts
+        metrics.counter("farm.permanent_failures").value = \
+            report.permanent_failures
+        metrics.counter("farm.checkpoints").value = report.checkpoints
+        recover = metrics.histogram(
+            "farm.time_to_recover_ticks",
+            "ticks from escalation to restored worker")
+        recover.reset()
+        for ticks in report.time_to_recover:
+            recover.observe(ticks)
+        for worker in self.workers:
+            scoped = metrics.scoped(f"farm.{worker.name}")
+            scoped.gauge("queue_depth").set(len(worker.queue))
+            scoped.gauge("queue_high_watermark").set(
+                worker.queue.high_watermark)
+            scoped.counter("processed").value = worker.processed
+            scoped.counter("restarts").value = worker.restarts_used
+
+
+def generate_event_stream(events: Iterable[str], n_items: int,
+                          seed: int = 1, max_burst: int = 2,
+                          priorities: int = 3) -> List[WorkItem]:
+    """A seeded work stream over *events*: each item carries 1..max_burst
+    distinct events and a priority in ``[0, priorities)``.
+
+    Deterministic for identical arguments — the farm soak's reproducibility
+    rests on it.
+    """
+    import random
+
+    pool = sorted(set(events))
+    if not pool:
+        raise ValueError("cannot generate a stream without events")
+    rng = random.Random(seed)
+    items: List[WorkItem] = []
+    for seq in range(n_items):
+        count = rng.randrange(1, max(2, max_burst + 1))
+        chosen = tuple(sorted(rng.sample(pool, min(count, len(pool)))))
+        items.append(WorkItem(seq, chosen, rng.randrange(max(1, priorities))))
+    return items

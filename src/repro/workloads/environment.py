@@ -60,6 +60,9 @@ class ClosedLoopReport:
     #: True when the run exhausted ``max_configuration_cycles`` before
     #: completing every command and draining the event queue
     truncated: bool = False
+    #: restore-from-checkpoint recoveries performed during the run (only
+    #: possible when ``run(..., restore_from_checkpoint=True)``)
+    restarts: int = 0
 
     @property
     def all_deadlines_met(self) -> bool:
@@ -155,9 +158,54 @@ class SmdClosedLoop:
         buffer_port = self.system.compiled.maps.ports["Buffer"]
         self.ports.map_latch(buffer_port, command.opcode)
 
+    # -- checkpoint/restore ---------------------------------------------------
+    def _loop_checkpoint(self, pending, completed, previous_time):
+        """Controller snapshot + deep copy of the plant and loop state.
+
+        The machine snapshot excludes attachments on purpose: after a
+        restore the injector's already-bitten faults stay consumed, so the
+        fault that forced the escalation does not re-bite forever.
+        """
+        import copy
+
+        return {
+            "machine": self.machine.snapshot(include_attachments=False),
+            "motors": copy.deepcopy(self.motors),
+            "queue": list(self._queue),
+            "sequence": self._sequence,
+            "movement_seen": self._movement_seen,
+            "move_started": self._move_started,
+            "monitor": copy.deepcopy(self.monitor),
+            "pending": list(pending),
+            "completed": completed,
+            "previous_time": previous_time,
+        }
+
+    def _restore_loop(self, checkpoint):
+        """Roll controller, plant and loop state back to *checkpoint*."""
+        self.machine.restore(checkpoint["machine"],
+                             restore_attachments=False)
+        if self.machine.guard is not None:
+            self.machine.guard.reset_transient()
+        import copy
+
+        self.motors = copy.deepcopy(checkpoint["motors"])
+        self._queue = list(checkpoint["queue"])
+        self._sequence = checkpoint["sequence"]
+        self._movement_seen = checkpoint["movement_seen"]
+        self._move_started = checkpoint["move_started"]
+        self.monitor = copy.deepcopy(checkpoint["monitor"])
+        return (list(checkpoint["pending"]), checkpoint["completed"],
+                checkpoint["previous_time"])
+
     # -- the run loop -----------------------------------------------------------
     def run(self, commands: Sequence[MoveCommand],
-            max_configuration_cycles: int = 20000) -> ClosedLoopReport:
+            max_configuration_cycles: int = 20000,
+            restore_from_checkpoint: bool = False,
+            checkpoint_every: int = 50,
+            max_restarts: int = 3) -> ClosedLoopReport:
+        from repro.fault.guard import MachineEscalation
+
         machine = self.machine
         pending = list(commands)
         completed = 0
@@ -167,6 +215,12 @@ class SmdClosedLoop:
             self._issue_command(pending[0], machine.time)
         previous_time = -1
         ran_to_completion = False
+        restarts = 0
+        checkpoint = None
+        last_checkpoint_cycle = machine.cycle_count
+        if restore_from_checkpoint:
+            checkpoint = self._loop_checkpoint(pending, completed,
+                                               previous_time)
 
         for _ in range(max_configuration_cycles):
             now = machine.time
@@ -199,7 +253,22 @@ class SmdClosedLoop:
                                       "BUF_EMPTY")
             previous_time = now
 
-            step = machine.step(events)
+            if (restore_from_checkpoint
+                    and machine.cycle_count - last_checkpoint_cycle
+                    >= checkpoint_every):
+                checkpoint = self._loop_checkpoint(pending, completed,
+                                                   previous_time)
+                last_checkpoint_cycle = machine.cycle_count
+            try:
+                step = machine.step(events)
+            except MachineEscalation:
+                if not restore_from_checkpoint or restarts >= max_restarts:
+                    raise
+                restarts += 1
+                pending, completed, previous_time = \
+                    self._restore_loop(checkpoint)
+                last_checkpoint_cycle = machine.cycle_count
+                continue
             self.monitor.observe(step)
 
             # a move begins when the machine enters the Moving composite
@@ -233,6 +302,7 @@ class SmdClosedLoop:
             worst_latencies={report.event: report.worst_latency
                              for report in self.monitor.reports()},
             truncated=not ran_to_completion,
+            restarts=restarts,
         )
 
     def _publish_metrics(self, completed: int, issued: int) -> None:
