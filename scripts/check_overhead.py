@@ -12,9 +12,11 @@ recorded baseline in ``scripts/overhead_baseline.json``:
   baseline's): the best-of-N run time must not regress more than
   ``--threshold`` (default 5%) over the baseline.
 
-It also measures the tracing-*enabled* run and reports its overhead over
-disabled, warning when it exceeds the same threshold (informational: the
-enabled path is allowed to cost something, the disabled path is not).
+It also measures the *flight-recorder-attached* (tracing off) run — the
+always-on production configuration — and **fails** when its overhead over
+disabled exceeds the threshold, and the tracing-*enabled* run, warning when
+it exceeds the same threshold (informational: the enabled path is allowed
+to cost something; the disabled and recorder paths are not).
 
 Refresh the baseline after an intended simulator change::
 
@@ -32,7 +34,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.flow import build_system
 from repro.isa import MD16_TEP
-from repro.obs import Tracer
+from repro.obs import FlightRecorder, Tracer
 from repro.workloads import (
     MoveCommand,
     SMD_MUTUAL_EXCLUSIONS,
@@ -68,8 +70,10 @@ def build_final_system():
     return build_system(smd_chart(), SMD_ROUTINES, arch, specialize=True)
 
 
-def run_once(system, tracer=None):
+def run_once(system, tracer=None, recorder=None):
     loop = SmdClosedLoop(system, motor_specs=FAST_MOTORS, tracer=tracer)
+    if recorder is not None:
+        loop.machine.attach_recorder(recorder)
     started = time.perf_counter()
     report = loop.run(COMMANDS, max_configuration_cycles=40000)
     elapsed = time.perf_counter() - started
@@ -77,16 +81,24 @@ def run_once(system, tracer=None):
 
 
 def measure_interleaved(system, rounds):
-    """Alternate disabled/enabled rounds so machine-load drift hits both
-    measurements equally; returns (disabled_best, enabled_best, reports)."""
-    disabled, enabled = [], []
-    disabled_report = enabled_report = None
+    """Alternate disabled/recorder/enabled rounds so machine-load drift hits
+    all three measurements equally; returns their best times and reports.
+
+    The *recorder* leg runs with a flight recorder attached and tracing off
+    — the always-on production configuration, held to the same wall-clock
+    budget as fully uninstrumented."""
+    disabled, recorded, enabled = [], [], []
+    disabled_report = recorder_report = enabled_report = None
     for _ in range(rounds):
         elapsed, disabled_report = run_once(system)
         disabled.append(elapsed)
+        elapsed, recorder_report = run_once(system,
+                                            recorder=FlightRecorder())
+        recorded.append(elapsed)
         elapsed, enabled_report = run_once(system, Tracer())
         enabled.append(elapsed)
-    return min(disabled), min(enabled), disabled_report, enabled_report
+    return (min(disabled), min(recorded), min(enabled),
+            disabled_report, recorder_report, enabled_report)
 
 
 def determinism_record(report):
@@ -112,20 +124,33 @@ def main(argv=None):
     print("building the final SMD architecture ...")
     system = build_final_system()
 
-    print(f"timing disabled/enabled interleaved ({args.rounds} rounds "
-          "each) ...")
+    print(f"timing disabled/recorder/enabled interleaved ({args.rounds} "
+          "rounds each) ...")
     run_once(system)  # warm caches before timing anything
-    best, traced_best, report, traced_report = measure_interleaved(
+    (best, recorder_best, traced_best,
+     report, recorder_report, traced_report) = measure_interleaved(
         system, args.rounds)
     record = determinism_record(report)
     print(f"  disabled best {best * 1e3:.1f} ms, "
           f"{record['total_cycles']} cycles")
+    recorder_overhead = (recorder_best - best) / best if best else 0.0
+    print(f"  recorder best {recorder_best * 1e3:.1f} ms "
+          f"({recorder_overhead * 100:+.1f}% vs disabled)")
     overhead = (traced_best - best) / best if best else 0.0
     print(f"  enabled  best {traced_best * 1e3:.1f} ms "
           f"({overhead * 100:+.1f}% vs disabled)")
 
     if determinism_record(traced_report) != record:
         print("FAIL: tracing-enabled run diverged from disabled run")
+        return 1
+    if determinism_record(recorder_report) != record:
+        print("FAIL: recorder-attached run diverged from disabled run")
+        return 1
+    if recorder_overhead > args.threshold:
+        # the flight recorder is always-on in production farms: unlike the
+        # tracer, its overhead budget is a hard failure, not advisory
+        print(f"FAIL: flight-recorder overhead {recorder_overhead * 100:.1f}%"
+              f" exceeds {args.threshold * 100:.0f}% budget")
         return 1
     if overhead > args.threshold:
         print(f"warning: tracing-enabled overhead {overhead * 100:.1f}% "

@@ -27,7 +27,10 @@ Robustness subcommands (see docs/ROBUSTNESS.md and docs/RESILIENCE.md)::
     python -m repro faults PROJECT [--seed N] [--runs-per-class N]
                                    [--classes a,b,...] [--json]
     python -m repro serve  PROJECT [--workers N] [--items N] [--seed N]
-                                   [--chaos] [--json]
+                                   [--chaos] [--json] [--dashboard]
+                                   [--trace PATH] [--forensics-dir DIR]
+                                   [--samples PATH] [--sample-every K]
+    python -m repro forensics BUNDLE.json [--json]
 
 ``PROJECT`` is either a directory holding one ``*.sc`` chart and one
 ``*.c`` routine file (e.g. ``examples/smd``) or an explicit
@@ -40,7 +43,12 @@ and reports detected/recovered/missed per fault class; ``serve`` runs a
 supervised farm of machine instances over a seeded event stream — with
 ``--chaos`` it injects per-worker fault plans and exercises
 restart-from-snapshot, load shedding and backpressure, then prints the
-conservation-checked farm report.
+conservation-checked farm report.  Each farm worker carries an always-on
+flight recorder (disable with ``--no-recorder``); ``--trace`` merges every
+machine plus the supervisor timeline into one Perfetto trace,
+``--forensics-dir`` collects the bundles dumped on escalation, and
+``--dashboard`` renders the sampler's sparkline dashboard.  ``forensics``
+pretty-prints one such bundle.
 """
 
 from __future__ import annotations
@@ -431,16 +439,46 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
                              "(default: 6)")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable farm report")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a merged multi-machine Perfetto trace: "
+                             "one process per worker plus the supervisor "
+                             "track (shed/restart/escalation instants)")
+    parser.add_argument("--forensics-dir", default=None, metavar="DIR",
+                        help="write each escalation's forensics bundle "
+                             "into DIR (created if missing)")
+    parser.add_argument("--recorder-capacity", type=_positive_int,
+                        default=64,
+                        help="flight-recorder ring entries per worker "
+                             "(default: 64)")
+    parser.add_argument("--no-recorder", action="store_true",
+                        help="do not attach per-worker flight recorders")
+    parser.add_argument("--sample-every", type=_positive_int, default=5,
+                        help="supervisor ticks between farm samples "
+                             "(default: 5)")
+    parser.add_argument("--samples", default=None, metavar="PATH",
+                        help="write the sampler time series (CSV when PATH "
+                             "ends in .csv, JSON otherwise)")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="render the farm dashboard (sampler "
+                             "sparklines + worker states)")
     args = parser.parse_args(argv)
 
     from repro.fault import FaultInjector, FaultPlan, FaultSurface, \
         MachineGuard
     from repro.fault.model import TEP_FAIL, TEP_RUNAWAY
-    from repro.obs import MetricsRegistry, metrics_summary
+    from repro.obs import FarmSampler, FlightRecorder, MetricsRegistry, \
+        Tracer, metrics_summary, render_dashboard, write_forensics_bundle, \
+        write_merged_chrome_trace
     from repro.resil import RestartPolicy, Supervisor, generate_event_stream
 
     try:
         chart_text, routine_text = _load_sources(args.project, args.routines)
+        # fail on an unwritable trace destination now, not after the soak
+        if args.trace is not None:
+            with open(args.trace, "a"):
+                pass
+        if args.forensics_dir is not None:
+            os.makedirs(args.forensics_dir, exist_ok=True)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -466,6 +504,17 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
         # runaway bites already escalate to the supervisor
         return MachineGuard(max_retries=1, escalate_unrecoverable=True)
 
+    recorder_factory = None
+    if not args.no_recorder:
+        def recorder_factory(worker_index: int):
+            return FlightRecorder(capacity=args.recorder_capacity)
+
+    tracer_factory = None
+    if args.trace is not None:
+        def tracer_factory(worker_index: int):
+            return Tracer()
+
+    sampler = FarmSampler(every=args.sample_every)
     metrics = MetricsRegistry()
     supervisor = Supervisor.for_system(
         system,
@@ -476,18 +525,40 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
         shed_enabled=not args.no_shed,
         guard_factory=guard_factory,
         injector_factory=injector_factory,
-        metrics=metrics)
+        tracer_factory=tracer_factory,
+        recorder_factory=recorder_factory,
+        metrics=metrics, sampler=sampler)
     stream = generate_event_stream(system.chart.events, args.items,
                                    seed=args.seed)
     report = supervisor.run(stream,
                             arrivals_per_tick=args.arrivals_per_tick,
                             batch_per_worker=args.batch)
     violations = report.conservation()
+    violations += sampler.conservation()
+
+    bundle_paths: List[str] = []
+    if args.forensics_dir is not None:
+        for index, bundle in enumerate(supervisor.forensics_bundles()):
+            name = f"bundle-{index:03d}-{bundle.get('worker') or 'farm'}.json"
+            path = os.path.join(args.forensics_dir, name)
+            write_forensics_bundle(bundle, path)
+            bundle_paths.append(path)
+    if args.trace is not None:
+        write_merged_chrome_trace(supervisor.machine_tracers(), args.trace,
+                                  supervisor_events=report.timeline,
+                                  metrics=metrics)
+    if args.samples is not None:
+        if args.samples.endswith(".csv"):
+            sampler.write_csv(args.samples)
+        else:
+            sampler.write_json(args.samples)
+
     if args.json:
         json.dump({
             "chart": chart.name,
             "architecture": system.arch.describe(),
             "farm": report.to_json(),
+            "samples": sampler.to_json(),
             "metrics": metrics.collect(),
         }, out, indent=2)
         print(file=out)
@@ -500,7 +571,49 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
     print(report.render(), file=out)
     print(file=out)
     print(metrics_summary(metrics), file=out)
+    if args.dashboard:
+        print(file=out)
+        print(render_dashboard(supervisor, sampler), file=out)
+    for path in bundle_paths:
+        print(f"wrote forensics bundle {path}", file=out)
+    if args.trace is not None:
+        print(f"wrote {args.trace}: merged trace of "
+              f"{len(supervisor.machine_tracers())} machine(s) + "
+              f"supervisor track ({len(report.timeline)} instant(s))",
+              file=out)
+    if args.samples is not None:
+        print(f"wrote {args.samples}: {len(sampler)} sample(s)", file=out)
+    if violations:
+        for problem in violations:
+            print(f"conservation violation: {problem}", file=sys.stderr)
     return 1 if violations else 0
+
+
+def run_forensics(argv: List[str], out=sys.stdout) -> int:
+    """``repro forensics``: pretty-print a flight-recorder bundle."""
+    parser = argparse.ArgumentParser(
+        prog="repro forensics",
+        description="pretty-print a forensics bundle dumped by an "
+                    "escalating farm worker (serve --forensics-dir)")
+    parser.add_argument("bundle", help="forensics bundle JSON file")
+    parser.add_argument("--json", action="store_true",
+                        help="re-emit the bundle as canonical JSON")
+    args = parser.parse_args(argv)
+
+    from repro.obs import load_forensics_bundle, render_forensics, \
+        write_forensics_bundle
+
+    try:
+        bundle = load_forensics_bundle(args.bundle)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        write_forensics_bundle(bundle, out)
+        print(file=out)
+        return 0
+    print(render_forensics(bundle), file=out)
+    return 0
 
 
 def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
@@ -513,6 +626,8 @@ def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return run_faults(argv[1:], out)
     if argv and argv[0] == "serve":
         return run_serve(argv[1:], out)
+    if argv and argv[0] == "forensics":
+        return run_forensics(argv[1:], out)
     args = build_argument_parser().parse_args(argv)
 
     try:

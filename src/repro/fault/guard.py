@@ -218,6 +218,12 @@ class MachineGuard:
                                  "cycle": detection.cycle})
         return detection
 
+    def _note_escalation(self, cycle: int, kind: str, detail: str) -> None:
+        """Mark the escalation in the machine's flight recorder (if any) so
+        the forensics bundle carries the cause inline with the ring."""
+        if self.machine is not None and self.machine.recorder is not None:
+            self.machine.recorder.note_escalation(cycle, kind, detail)
+
     def drain_cycle_log(self) -> Tuple[Detection, ...]:
         if not self._cycle_log:
             return ()
@@ -246,6 +252,7 @@ class MachineGuard:
             del self._attempts[transition_index]
             if self.escalate_unrecoverable:
                 self.escalation_count += 1
+                self._note_escalation(cycle, RETRY_EXHAUSTED, detail)
                 raise MachineEscalation(
                     RETRY_EXHAUSTED, cycle, transition_index, detail)
             return
@@ -308,6 +315,7 @@ class MachineGuard:
             self._record(Detection(
                 ILLEGAL_CONFIGURATION, cycle, None, detail))
             self.escalation_count += 1
+            self._note_escalation(cycle, ILLEGAL_CONFIGURATION, detail)
             raise MachineEscalation(ILLEGAL_CONFIGURATION, cycle, None,
                                     detail)
         self.safe_state_recoveries += 1
@@ -328,6 +336,8 @@ class MachineGuard:
             ALL_TEPS_FAILED, cycle, None, "no executor survives"))
         if self.escalate_unrecoverable:
             self.escalation_count += 1
+            self._note_escalation(cycle, ALL_TEPS_FAILED,
+                                  "no executor survives")
             raise MachineEscalation(ALL_TEPS_FAILED, cycle, None,
                                     "no executor survives")
 

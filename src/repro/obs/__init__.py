@@ -18,9 +18,19 @@ byte-identical with tracing off.
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
+    merged_chrome_trace,
     metrics_summary,
     trace_summary,
     write_chrome_trace,
+    write_merged_chrome_trace,
+)
+from repro.obs.farm import FarmSampler, render_dashboard, sparkline
+from repro.obs.flightrec import (
+    FORENSICS_VERSION,
+    FlightRecorder,
+    load_forensics_bundle,
+    render_forensics,
+    write_forensics_bundle,
 )
 from repro.obs.flowprof import FlowProfile, RungProfile
 from repro.obs.metrics import (
@@ -34,9 +44,13 @@ from repro.obs.metrics import (
 from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
 
 __all__ = [
-    "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FlowProfile", "Gauge",
+    "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FORENSICS_VERSION",
+    "FarmSampler", "FlightRecorder", "FlowProfile", "Gauge",
     "Histogram", "INSTANT", "MetricsRegistry", "RungProfile",
     "ScopedRegistry", "SPAN",
-    "Tracer", "chrome_trace", "chrome_trace_events", "metrics_summary",
-    "trace_summary", "write_chrome_trace",
+    "Tracer", "chrome_trace", "chrome_trace_events",
+    "load_forensics_bundle", "merged_chrome_trace", "metrics_summary",
+    "render_dashboard", "render_forensics", "sparkline", "trace_summary",
+    "write_chrome_trace", "write_forensics_bundle",
+    "write_merged_chrome_trace",
 ]

@@ -11,42 +11,70 @@ Two consumers:
 
 * **terminals** — :func:`trace_summary` aggregates the same stream into the
   plain-text table style of :mod:`repro.flow.report`.
+
+Multi-machine traces
+--------------------
+
+A farm run produces one tracer per machine.  :func:`chrome_trace_events`
+threads a ``pid`` through every event (defaulting to the historical single
+``TRACE_PID``, which keeps single-machine output byte-identical), and
+:func:`merged_chrome_trace` lays many tracers out as separate trace-event
+*processes* — ``worker0`` is pid 2, ``worker1`` pid 3, ... — with the
+supervisor's shed/restart/escalation instants on a dedicated pid-1 track,
+so one Perfetto page shows the whole farm timeline.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, List, Optional, Union
+from typing import IO, Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
 
-#: the single trace-event process all tracks live under
+#: the default trace-event process single-machine tracks live under (the
+#: supervisor claims it in merged farm traces; machines get pid 2, 3, ...)
 TRACE_PID = 1
 
+#: first pid handed to a machine in a merged farm trace
+FIRST_MACHINE_PID = TRACE_PID + 1
 
-def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
-    """The tracer's events in Chrome trace-event form (list of dicts)."""
+
+def chrome_trace_events(tracer: Tracer, pid: int = TRACE_PID,
+                        process_name: str = "PSCP machine",
+                        process_sort_index: Optional[int] = None
+                        ) -> List[Dict[str, Any]]:
+    """The tracer's events in Chrome trace-event form (list of dicts).
+
+    *pid* names the trace-event process all this tracer's tracks live
+    under; the default keeps the historical single-machine output
+    byte-identical.  *process_sort_index* orders processes in the viewer
+    (emitted only when given, again to preserve the default output).
+    """
     events: List[Dict[str, Any]] = [{
-        "ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
-        "args": {"name": "PSCP machine"},
+        "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+        "args": {"name": process_name},
     }]
+    if process_sort_index is not None:
+        events.append({
+            "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+            "args": {"sort_index": process_sort_index}})
     for track_id, track_name in enumerate(tracer.track_names):
         events.append({
-            "ph": "M", "name": "thread_name", "pid": TRACE_PID,
+            "ph": "M", "name": "thread_name", "pid": pid,
             "tid": track_id, "args": {"name": track_name}})
         events.append({
-            "ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+            "ph": "M", "name": "thread_sort_index", "pid": pid,
             "tid": track_id, "args": {"sort_index": track_id}})
     for kind, track_id, name, ts, dur, args in tracer.events:
         if kind == SPAN:
-            event = {"ph": "X", "name": name, "pid": TRACE_PID,
+            event = {"ph": "X", "name": name, "pid": pid,
                      "tid": track_id, "ts": ts, "dur": dur}
         elif kind == INSTANT:
-            event = {"ph": "i", "name": name, "pid": TRACE_PID,
+            event = {"ph": "i", "name": name, "pid": pid,
                      "tid": track_id, "ts": ts, "s": "t"}
         elif kind == COUNTER:
-            event = {"ph": "C", "name": name, "pid": TRACE_PID,
+            event = {"ph": "C", "name": name, "pid": pid,
                      "tid": track_id, "ts": ts, "args": {name: dur}}
         else:  # pragma: no cover - tracer only emits the three kinds
             continue
@@ -73,6 +101,71 @@ def write_chrome_trace(tracer: Tracer, destination: Union[str, IO[str]],
                        metrics: Optional[MetricsRegistry] = None) -> None:
     """Serialize :func:`chrome_trace` to a path or file object."""
     document = chrome_trace(tracer, metrics)
+    if hasattr(destination, "write"):
+        json.dump(document, destination)
+    else:
+        with open(destination, "w") as handle:
+            json.dump(document, handle)
+
+
+def merged_chrome_trace(tracers: Mapping[str, Tracer],
+                        supervisor_events: Optional[
+                            Iterable[Dict[str, Any]]] = None,
+                        metrics: Optional[MetricsRegistry] = None
+                        ) -> Dict[str, Any]:
+    """One trace document for a whole farm.
+
+    *tracers* maps machine names (``worker0``, ...) to their tracers; each
+    becomes its own trace-event process (pid 2, 3, ... in mapping order) so
+    the tracks of different machines never collide.  *supervisor_events* —
+    dicts with ``tick``, ``kind`` and optional ``worker``/``detail`` keys,
+    as recorded on :attr:`~repro.resil.supervisor.FarmLedger.timeline` —
+    land as instants on a dedicated pid-1 "farm supervisor" track (one
+    supervisor tick maps to one microsecond, like one machine cycle does).
+    """
+    events: List[Dict[str, Any]] = [
+        {"ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
+         "args": {"name": "farm supervisor"}},
+        {"ph": "M", "name": "process_sort_index", "pid": TRACE_PID,
+         "tid": 0, "args": {"sort_index": 0}},
+        {"ph": "M", "name": "thread_name", "pid": TRACE_PID, "tid": 0,
+         "args": {"name": "supervisor"}},
+    ]
+    for event in supervisor_events or ():
+        args = {key: value for key, value in event.items()
+                if key not in ("tick", "kind") and value is not None}
+        record: Dict[str, Any] = {
+            "ph": "i", "name": event["kind"], "pid": TRACE_PID, "tid": 0,
+            "ts": event["tick"], "s": "t"}
+        if args:
+            record["args"] = args
+        events.append(record)
+    metadata: Dict[str, Any] = {"machines": {}}
+    for index, (name, tracer) in enumerate(tracers.items()):
+        pid = FIRST_MACHINE_PID + index
+        events.extend(chrome_trace_events(
+            tracer, pid=pid, process_name=name,
+            process_sort_index=index + 1))
+        metadata["machines"][name] = {"pid": pid,
+                                      **dict(tracer.metadata)}
+    document: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": metadata,
+    }
+    if metrics is not None:
+        document["otherData"]["metrics"] = metrics.collect()
+    return document
+
+
+def write_merged_chrome_trace(tracers: Mapping[str, Tracer],
+                              destination: Union[str, IO[str]],
+                              supervisor_events: Optional[
+                                  Iterable[Dict[str, Any]]] = None,
+                              metrics: Optional[MetricsRegistry] = None
+                              ) -> None:
+    """Serialize :func:`merged_chrome_trace` to a path or file object."""
+    document = merged_chrome_trace(tracers, supervisor_events, metrics)
     if hasattr(destination, "write"):
         json.dump(document, destination)
     else:

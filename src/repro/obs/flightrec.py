@@ -1,0 +1,295 @@
+"""An always-on flight recorder for post-mortem forensics.
+
+Where the :class:`~repro.obs.tracer.Tracer` records *everything* (and is
+therefore attached only when someone is watching), the
+:class:`FlightRecorder` is designed to run **always**, even in production
+farms: a bounded ring buffer holding the last N configuration-cycle
+digests plus checkpoint and escalation marks.  When a machine escalates an
+unrecoverable fault, the ring is dumped as a versioned **forensics
+bundle** — the reconstructable execution history Harel-style reactive
+debugging needs, at near-zero steady-state cost.
+
+Near-zero overhead
+------------------
+
+The hot path appends one tuple per configuration cycle, referencing the
+:class:`~repro.pscp.machine.MachineStep` the machine built anyway — no
+digesting, no string formatting, no dict allocation.  Digesting into
+JSON-ready form happens only when a bundle is dumped or the ring is
+captured into a snapshot.  ``scripts/check_overhead.py`` enforces the
+budget: a recorder-attached, tracing-off run must stay within the same
+wall-clock envelope as an uninstrumented one.
+
+The ring participates in checkpoint/restore: ``snapshot_state`` /
+``restore_state`` round-trip the digested ring through
+:class:`~repro.resil.snapshot.MachineSnapshot` attachment state, so a
+restored machine's recorder continues with the pre-snapshot history intact
+and a restore-then-escalate still produces a complete bundle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Union
+
+#: bump when the bundle layout changes; the pretty-printer refuses others
+FORENSICS_VERSION = 1
+
+#: ring entry kinds
+STEP = "step"
+CHECKPOINT = "checkpoint"
+ESCALATION = "escalation"
+
+
+class FlightRecorder:
+    """A bounded ring of configuration-cycle digests.
+
+    Attach with :meth:`PscpMachine.attach_recorder`; the machine then calls
+    :meth:`record_step` once per cycle.  Checkpoint and escalation marks
+    arrive from the supervision layer (:meth:`note_checkpoint`,
+    :meth:`note_escalation`).  ``capacity`` bounds memory: the ring keeps
+    the last *capacity* entries, and the bundle reports how many older
+    entries were dropped.
+    """
+
+    __slots__ = ("capacity", "_ring", "_head", "recorded",
+                 "last_checkpoint", "last_escalation", "machine")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        #: fixed-size ring written round-robin: one preallocated list plus
+        #: an integer head keeps the hot path to an index store
+        self._ring: List[Any] = [None] * capacity
+        self._head = 0
+        self.recorded = 0
+        self.last_checkpoint: Optional[str] = None
+        self.last_escalation: Optional[Dict[str, Any]] = None
+        self.machine = None
+
+    # -- wiring ------------------------------------------------------------
+    def bind(self, machine) -> None:
+        """Called by :meth:`PscpMachine.attach_recorder`."""
+        self.machine = machine
+
+    # -- the hot path ------------------------------------------------------
+    def record_step(self, cycle: int, step) -> None:
+        """Append one cycle digest (a reference, digested lazily)."""
+        head = self._head
+        self._ring[head] = (cycle, step)
+        head += 1
+        self._head = 0 if head == self.capacity else head
+        self.recorded += 1
+
+    # -- marks -------------------------------------------------------------
+    def note_checkpoint(self, cycle: int, ref: str) -> None:
+        """A checkpoint was taken at *cycle*; *ref* names it."""
+        self.last_checkpoint = ref
+        self._append_entry({"kind": CHECKPOINT, "cycle": cycle, "ref": ref})
+
+    def note_escalation(self, cycle: int, kind: str, detail: str) -> None:
+        """An unrecoverable fault escalated out of the machine."""
+        self.last_escalation = {"kind": kind, "cycle": cycle,
+                                "detail": detail}
+        self._append_entry({"kind": ESCALATION, "cycle": cycle,
+                            "escalation": kind, "detail": detail})
+
+    def _append_entry(self, entry: Dict[str, Any]) -> None:
+        head = self._head
+        self._ring[head] = entry
+        head += 1
+        self._head = 0 if head == self.capacity else head
+        self.recorded += 1
+
+    # -- reading back ------------------------------------------------------
+    def __len__(self) -> int:
+        return min(self.recorded, self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Entries that aged out of the ring."""
+        return max(0, self.recorded - self.capacity)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The ring contents, oldest first, as JSON-ready digests."""
+        length = len(self)
+        start = (self._head - length) % self.capacity
+        out: List[Dict[str, Any]] = []
+        for offset in range(length):
+            out.append(_digest(self._ring[(start + offset) % self.capacity]))
+        return out
+
+    def step_entries(self) -> List[Dict[str, Any]]:
+        return [e for e in self.entries() if e["kind"] == STEP]
+
+    def clear(self) -> None:
+        self._ring = [None] * self.capacity
+        self._head = 0
+        self.recorded = 0
+        self.last_checkpoint = None
+        self.last_escalation = None
+
+    # -- checkpoint/restore ------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-ready state for ``MachineSnapshot`` attachment capture."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "entries": self.entries(),
+            "last_checkpoint": self.last_checkpoint,
+            "last_escalation": self.last_escalation,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Load a :meth:`snapshot_state` document back (digested entries
+        re-digest to identical JSON, so snapshot round-trips stay
+        byte-identical)."""
+        self.capacity = state["capacity"]
+        entries = list(state["entries"])[-self.capacity:]
+        self._ring = [None] * self.capacity
+        for index, entry in enumerate(entries):
+            self._ring[index] = entry
+        self._head = len(entries) % self.capacity
+        self.recorded = state["recorded"]
+        self.last_checkpoint = state["last_checkpoint"]
+        self.last_escalation = state["last_escalation"]
+
+    # -- the bundle --------------------------------------------------------
+    def forensics_bundle(self, cause: Dict[str, Any],
+                         worker: Optional[str] = None,
+                         metrics_delta: Optional[Dict[str, Any]] = None
+                         ) -> Dict[str, Any]:
+        """Dump the ring as a versioned post-mortem document.
+
+        *cause* describes why the dump happened (escalation detail,
+        permanent failure, an operator's request); *metrics_delta* carries
+        whatever progress counters the caller tracked since the last
+        checkpoint.
+        """
+        bundle: Dict[str, Any] = {
+            "version": FORENSICS_VERSION,
+            "worker": worker,
+            "cause": cause,
+            "ring": self.entries(),
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "last_checkpoint": self.last_checkpoint,
+            "last_escalation": self.last_escalation,
+            "metrics_delta": metrics_delta,
+        }
+        if self.machine is not None:
+            bundle["machine"] = {
+                "chart": self.machine.chart.name,
+                "arch": self.machine.arch.describe(),
+                "cycle_count": self.machine.cycle_count,
+                "time": self.machine.time,
+            }
+        else:
+            bundle["machine"] = None
+        return bundle
+
+
+# ---------------------------------------------------------------------------
+# digesting
+# ---------------------------------------------------------------------------
+
+def _digest(entry) -> Dict[str, Any]:
+    """Normalize one ring entry to its canonical JSON-ready form.
+
+    Hot-path step entries are ``(cycle, MachineStep)`` tuples; marks and
+    restored entries are already dicts and pass through unchanged (so a
+    snapshot round trip re-digests to identical JSON).
+    """
+    if isinstance(entry, dict):
+        return entry
+    cycle, step = entry
+    return {
+        "kind": STEP,
+        "cycle": cycle,
+        "start": step.start_time,
+        "length": step.cycle_length,
+        "fired": [t.index for t in step.fired],
+        "sampled": sorted(step.events_sampled),
+        "raised": sorted(step.events_raised),
+        "faults": [f.describe() for f in step.faults],
+        "recoveries": [r.describe() for r in step.recoveries],
+    }
+
+
+# ---------------------------------------------------------------------------
+# bundle I/O and rendering
+# ---------------------------------------------------------------------------
+
+def write_forensics_bundle(bundle: Dict[str, Any],
+                           destination: Union[str, IO[str]]) -> None:
+    """Serialize a bundle to a path or file object (canonical key order)."""
+    if hasattr(destination, "write"):
+        json.dump(bundle, destination, indent=2, sort_keys=True)
+    else:
+        with open(destination, "w") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+
+
+def load_forensics_bundle(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        bundle = json.load(handle)
+    version = bundle.get("version") if isinstance(bundle, dict) else None
+    if version != FORENSICS_VERSION:
+        raise ValueError(
+            f"not a version-{FORENSICS_VERSION} forensics bundle "
+            f"(found version {version!r})")
+    return bundle
+
+
+def render_forensics(bundle: Dict[str, Any]) -> str:
+    """The ``repro forensics`` pretty-printer: cause, context, ring tail."""
+    from repro.flow.report import ascii_table  # deferred: avoids a cycle
+
+    parts: List[str] = []
+    cause = bundle.get("cause") or {}
+    head = ["Forensics bundle"
+            + (f" from {bundle['worker']}" if bundle.get("worker") else "")]
+    head.append("  cause: " + ", ".join(
+        f"{key}={cause[key]}" for key in sorted(cause)))
+    machine = bundle.get("machine")
+    if machine:
+        head.append(f"  machine: chart {machine['chart']!r} on "
+                    f"{machine['arch']} at cycle {machine['cycle_count']} "
+                    f"(time {machine['time']})")
+    head.append(f"  ring: {len(bundle['ring'])} of {bundle['recorded']} "
+                f"entries recorded ({bundle['dropped']} dropped, "
+                f"capacity {bundle['capacity']})")
+    if bundle.get("last_checkpoint"):
+        head.append(f"  last checkpoint: {bundle['last_checkpoint']}")
+    delta = bundle.get("metrics_delta")
+    if delta:
+        head.append("  since checkpoint: " + ", ".join(
+            f"{key}={delta[key]}" for key in sorted(delta)))
+    parts.append("\n".join(head))
+
+    def clip(text: str, width: int = 96) -> str:
+        return text if len(text) <= width else text[:width - 3] + "..."
+
+    rows = []
+    for entry in bundle["ring"]:
+        if entry["kind"] == STEP:
+            what = (f"fired {entry['fired']}" if entry["fired"] else "idle")
+            extra = []
+            if entry["sampled"]:
+                extra.append("in " + "+".join(entry["sampled"]))
+            if entry["raised"]:
+                extra.append("out " + "+".join(entry["raised"]))
+            extra.extend(entry["faults"])
+            extra.extend(entry["recoveries"])
+            rows.append((entry["cycle"], "step", clip(
+                what + (": " + "; ".join(extra) if extra else ""))))
+        elif entry["kind"] == CHECKPOINT:
+            rows.append((entry["cycle"], "checkpoint", entry["ref"]))
+        else:
+            rows.append((entry["cycle"], "escalation", clip(
+                f"{entry['escalation']}: {entry['detail']}")))
+    parts.append(ascii_table(["Cycle", "Kind", "What"], rows,
+                             title="Flight-recorder ring (oldest first)"))
+    return "\n\n".join(parts)

@@ -110,7 +110,16 @@ class Histogram:
 
     def quantile(self, q: float) -> Optional[int]:
         """Upper bound of the bucket containing the q-quantile (or the exact
-        max for the overflow bucket)."""
+        max for the overflow bucket).
+
+        **Error bound:** the result *overestimates* the true q-quantile by
+        at most the width of the containing bucket — the true value lies in
+        ``(previous bound, returned bound]``.  With the default power-of-two
+        buckets that means the estimate is within 2x of the true quantile
+        (tight for values just above a bound).  Values beyond the last
+        bucket report the exact observed ``max``.  ``count``/``sum``/
+        ``min``/``max``/``mean`` are exact regardless of bucketing.
+        """
         if not self.count:
             return None
         target = q * self.count
@@ -120,6 +129,21 @@ class Histogram:
             if running >= target:
                 return bound
         return self.max
+
+    def summary(self) -> Dict[str, Any]:
+        """The dashboard/summary digest: ``{count, mean, p50, p95, p99}``.
+
+        Percentiles carry :meth:`quantile`'s bucket-upper-bound error; mean
+        and count are exact.  All values are ``None`` when empty except
+        ``count``.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
 
 class MetricsRegistry:
@@ -197,8 +221,12 @@ class MetricsRegistry:
         for name, data in self.collect().items():
             if data["type"] == "histogram":
                 if data["count"]:
+                    summary = self._instruments[name].summary()
                     rendered = (f"n={data['count']} min={data['min']} "
-                                f"mean={data['mean']:.1f} max={data['max']}")
+                                f"mean={data['mean']:.1f} "
+                                f"p50={summary['p50']} "
+                                f"p95={summary['p95']} "
+                                f"p99={summary['p99']} max={data['max']}")
                 else:
                     rendered = "n=0"
             else:

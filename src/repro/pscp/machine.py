@@ -175,6 +175,10 @@ class PscpMachine:
         #: guard, same zero-overhead pattern as the tracer
         self.injector = None
         self.guard = None
+        #: always-on forensics: ``None`` keeps the hook a no-op guard; an
+        #: attached :class:`repro.obs.FlightRecorder` costs one tuple
+        #: append per cycle (enforced by ``scripts/check_overhead.py``)
+        self.recorder = None
         self.failed_teps: Set[int] = set()
         #: ``None`` until a TEP fails; then the surviving TEP indices the
         #: scheduler round-robins over
@@ -214,6 +218,15 @@ class PscpMachine:
             self.injector.attach_tracer(tracer)
         if self.guard is not None:
             self.guard.attach_tracer(tracer)
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.obs.FlightRecorder`: every configuration
+        cycle appends one digest to its bounded ring, so an escalation can
+        dump the recent execution history as a forensics bundle.  Pass
+        ``None`` to detach and restore the zero-overhead disabled path."""
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.bind(self)
 
     # -- fault injection and recovery --------------------------------------
     def attach_injector(self, injector) -> None:
@@ -454,6 +467,8 @@ class PscpMachine:
         if tracer is not None:
             self._trace_cycle(tracer, step, plan, costs, retired,
                               raised_names, words_before)
+        if self.recorder is not None:
+            self.recorder.record_step(self.cycle_count, step)
         self.time += cycle_length
         self.cycle_count += 1
         if self._keep_history:

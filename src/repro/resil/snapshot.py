@@ -11,7 +11,9 @@ and cycle counters.  Optionally it also captures:
 * an attached :class:`~repro.fault.injector.FaultInjector`'s remaining
   faults, armed re-deliveries and stuck ports, and
 * an attached :class:`~repro.fault.guard.MachineGuard`'s retry heap, open
-  aborts, detection log and counters, and
+  aborts, detection log and counters,
+* an attached :class:`~repro.obs.FlightRecorder`'s digested ring (so a
+  restore-then-escalate still dumps a complete forensics bundle), and
 * a :class:`~repro.pscp.timers.TimerBank` passed alongside the machine,
 
 so that a restored machine produces the *exact same*
@@ -132,6 +134,9 @@ class MachineSnapshot:
     timers: Optional[List[Dict[str, Any]]] = None
     injector: Optional[Dict[str, Any]] = None
     guard: Optional[Dict[str, Any]] = None
+    #: flight-recorder ring (attachment state); explicitly ``None`` when no
+    #: recorder was attached, so a document always states the fact
+    flight_recorder: Optional[Dict[str, Any]] = None
 
     # -- serialization -----------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
@@ -151,6 +156,7 @@ class MachineSnapshot:
             "timers": self.timers,
             "injector": self.injector,
             "guard": self.guard,
+            "flight_recorder": self.flight_recorder,
         }
 
     def to_json_str(self) -> str:
@@ -169,13 +175,17 @@ class MachineSnapshot:
                 f"snapshot version {version} is not supported "
                 f"(this build reads version {SNAPSHOT_VERSION})")
         try:
-            return cls(**{name: document[name] for name in (
+            fields = {name: document[name] for name in (
                 "version", "chart", "arch", "cycle_count", "time", "cr",
                 "pending_internal_events", "executor", "tat_pending",
                 "port_latches", "bridge", "failed_teps", "timers",
-                "injector", "guard")})
+                "injector", "guard")}
         except KeyError as exc:
             raise SnapshotError(f"snapshot missing field {exc}") from None
+        # optional since its introduction: version-1 documents written
+        # before the flight recorder existed simply carried no ring
+        fields["flight_recorder"] = document.get("flight_recorder")
+        return cls(**fields)
 
     @classmethod
     def from_json_str(cls, text: str) -> "MachineSnapshot":
@@ -242,6 +252,8 @@ def snapshot_machine(machine, include_attachments: bool = True,
             snap.injector = _snapshot_injector(machine.injector)
         if machine.guard is not None:
             snap.guard = _snapshot_guard(machine.guard)
+        if machine.recorder is not None:
+            snap.flight_recorder = machine.recorder.snapshot_state()
     return snap
 
 
@@ -374,6 +386,12 @@ def restore_machine(machine, snapshot: MachineSnapshot,
                     "snapshot carries guard state but the machine has no "
                     "guard attached")
             _restore_guard(machine.guard, snapshot.guard)
+        if snapshot.flight_recorder is not None:
+            if machine.recorder is None:
+                raise SnapshotError(
+                    "snapshot carries flight-recorder state but the "
+                    "machine has no recorder attached")
+            machine.recorder.restore_state(snapshot.flight_recorder)
 
 
 def _restore_injector(injector, doc: Dict[str, Any]) -> None:

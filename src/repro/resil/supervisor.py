@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.metrics import Histogram
 from repro.resil.queue import (
     BoundedQueue,
     CircuitBreaker,
@@ -86,6 +87,10 @@ class FarmLedger:
     permanent_failures: int = 0
     checkpoints: int = 0
     time_to_recover: List[int] = field(default_factory=list)
+    #: supervisor-level instants (shed, restart, escalation,
+    #: permanent-failure) in tick order — the merged Perfetto trace's
+    #: dedicated supervisor track and the forensics timeline
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
 
     def reject(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
@@ -93,6 +98,16 @@ class FarmLedger:
     def drop(self, reason: str, count: int = 1) -> None:
         if count:
             self.shed[reason] = self.shed.get(reason, 0) + count
+
+    def note(self, tick: int, kind: str, worker: Optional[str] = None,
+             detail: Optional[str] = None) -> None:
+        """Append one supervisor-level event to the timeline."""
+        event: Dict[str, Any] = {"tick": tick, "kind": kind}
+        if worker is not None:
+            event["worker"] = worker
+        if detail is not None:
+            event["detail"] = detail
+        self.timeline.append(event)
 
     @property
     def rejected_total(self) -> int:
@@ -124,6 +139,17 @@ class MachineWorker:
         self._resume_at: Optional[int] = None
         self._failed_at: Optional[int] = None
         self.last_escalation: Optional[str] = None
+        #: dispatch latency in supervisor ticks (enqueue -> processed);
+        #: restarts and backoff count into the retried item's latency
+        self.latency = Histogram(
+            f"{name}.dispatch_latency_ticks",
+            "ticks from queue admission to completed processing",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512))
+        self._enqueued_at: Dict[int, int] = {}
+        #: forensics bundles dumped on escalation / permanent failure
+        self.forensics: List[Dict[str, Any]] = []
+        self._checkpoint_seq = 0
+        self._progress_at_checkpoint: Dict[str, int] = {}
         #: restart-from-snapshot anchor; taken at start so a restart is
         #: always defined, refreshed every ``checkpoint_every`` items
         self.checkpoint: MachineSnapshot = self._take_checkpoint()
@@ -134,7 +160,37 @@ class MachineWorker:
                                     include_attachments=False)
         self.ledger.checkpoints += 1
         self._since_checkpoint = 0
+        self._checkpoint_seq += 1
+        self._progress_at_checkpoint = {
+            "processed": self.processed,
+            "cycle_count": self.machine.cycle_count,
+            "time": self.machine.time,
+            "restarts": self.restarts_used,
+        }
+        if self.machine.recorder is not None:
+            self.machine.recorder.note_checkpoint(
+                snapshot.cycle_count,
+                f"{self.name}:ckpt{self._checkpoint_seq}"
+                f"@cycle{snapshot.cycle_count}")
         return snapshot
+
+    def _dump_forensics(self, tick: int, kind: str, detail: str) -> None:
+        """Dump the machine's flight-recorder ring as a forensics bundle
+        (no-op without a recorder attached)."""
+        recorder = self.machine.recorder
+        if recorder is None:
+            return
+        progress = self._progress_at_checkpoint
+        delta = {
+            "processed": self.processed - progress.get("processed", 0),
+            "cycle_count": (self.machine.cycle_count
+                            - progress.get("cycle_count", 0)),
+            "time": self.machine.time - progress.get("time", 0),
+            "restarts": self.restarts_used - progress.get("restarts", 0),
+        }
+        cause = {"kind": kind, "tick": tick, "detail": detail}
+        self.forensics.append(recorder.forensics_bundle(
+            cause, worker=self.name, metrics_delta=delta))
 
     # -- admission ---------------------------------------------------------
     def offer(self, item: WorkItem, tick: int) -> bool:
@@ -150,9 +206,13 @@ class MachineWorker:
             self.ledger.reject(admission.reason or REJECT_QUEUE_FULL)
             return False
         self.ledger.accepted += 1
+        self._enqueued_at[item.seq] = tick
         if admission.shed is not None:
             # the evicted item was accepted earlier; it leaves as shed
             self.ledger.drop(SHED_OVERLOAD)
+            self._enqueued_at.pop(admission.shed.seq, None)
+            self.ledger.note(tick, "shed", self.name,
+                             admission.shed.describe())
         return True
 
     # -- the work loop -----------------------------------------------------
@@ -187,6 +247,7 @@ class MachineWorker:
             return False
         self.processed += 1
         self.ledger.processed += 1
+        self.latency.observe(tick - self._enqueued_at.pop(item.seq, tick))
         self.breaker.record_success()
         self._since_checkpoint += 1
         if self._since_checkpoint >= self.policy.checkpoint_every:
@@ -197,8 +258,13 @@ class MachineWorker:
         self.ledger.escalations += 1
         self.last_escalation = detail
         self.breaker.record_failure(tick)
-        if self.restarts_used >= self.policy.max_restarts:
-            self._fail_permanently(item)
+        self.ledger.note(tick, "escalation", self.name, detail)
+        permanent = self.restarts_used >= self.policy.max_restarts
+        self._dump_forensics(
+            tick, "permanent-failure" if permanent else "escalation",
+            detail)
+        if permanent:
+            self._fail_permanently(item, tick)
             return
         # the in-flight item goes back to the head: it is retried from the
         # restored snapshot, so it stays in-flight, not lost
@@ -225,13 +291,23 @@ class MachineWorker:
             self.ledger.time_to_recover.append(tick - self._failed_at)
             self._failed_at = None
         self.state = RUNNING
+        self.ledger.note(tick, "restart", self.name,
+                         f"restart {self.restarts_used} from "
+                         f"cycle {self.checkpoint.cycle_count}")
 
-    def _fail_permanently(self, in_flight: Optional[WorkItem]) -> None:
+    def _fail_permanently(self, in_flight: Optional[WorkItem],
+                          tick: int) -> None:
         self.state = FAILED
         self.ledger.permanent_failures += 1
+        self.ledger.note(tick, "permanent-failure", self.name,
+                         self.last_escalation)
         drained = self.queue.drain()
         count = len(drained) + (1 if in_flight is not None else 0)
         self.ledger.drop(SHED_WORKER_FAILED, count)
+        for item in drained:
+            self._enqueued_at.pop(item.seq, None)
+        if in_flight is not None:
+            self._enqueued_at.pop(in_flight.seq, None)
 
     # -- reporting ---------------------------------------------------------
     def describe(self) -> Dict[str, Any]:
@@ -245,6 +321,8 @@ class MachineWorker:
             "breaker": self.breaker.state,
             "breaker_opened": self.breaker.opened_count,
             "last_escalation": self.last_escalation,
+            "dispatch_latency_ticks": self.latency.summary(),
+            "forensics_bundles": len(self.forensics),
         }
 
 
@@ -265,6 +343,8 @@ class FarmReport:
     permanent_failures: int
     checkpoints: int
     time_to_recover: List[int]
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+    forensics_bundles: int = 0
 
     def conservation(self) -> List[str]:
         """Violations of the no-silent-loss ledger; empty when sound.
@@ -300,6 +380,8 @@ class FarmReport:
             "permanent_failures": self.permanent_failures,
             "checkpoints": self.checkpoints,
             "time_to_recover": self.time_to_recover,
+            "timeline": self.timeline,
+            "forensics_bundles": self.forensics_bundles,
             "conservation_violations": self.conservation(),
         }
 
@@ -328,12 +410,14 @@ class Supervisor:
     """Routes a work stream over N supervised machine workers."""
 
     def __init__(self, workers: Sequence[MachineWorker],
-                 ledger: FarmLedger, metrics=None) -> None:
+                 ledger: FarmLedger, metrics=None, sampler=None) -> None:
         if not workers:
             raise ValueError("a farm needs at least one worker")
         self.workers = list(workers)
         self.ledger = ledger
         self.metrics = metrics
+        #: a :class:`~repro.obs.FarmSampler` fed at the end of every tick
+        self.sampler = sampler
         self.tick = 0
 
     @classmethod
@@ -346,14 +430,21 @@ class Supervisor:
                        Callable[[int], Any]] = None,
                    breaker_factory: Optional[
                        Callable[[], CircuitBreaker]] = None,
-                   metrics=None) -> "Supervisor":
+                   tracer_factory: Optional[Callable[[int], Any]] = None,
+                   recorder_factory: Optional[
+                       Callable[[int], Any]] = None,
+                   metrics=None, sampler=None) -> "Supervisor":
         """Build a farm of fresh machines over one built system.
 
         ``guard_factory`` returns a fresh
         :class:`~repro.fault.guard.MachineGuard` per worker (defaults to one
         with escalation enabled); ``injector_factory(worker_index)`` returns
         a per-worker :class:`~repro.fault.injector.FaultInjector` — the
-        chaos hook — or ``None``.
+        chaos hook — or ``None``.  ``tracer_factory(worker_index)`` /
+        ``recorder_factory(worker_index)`` likewise attach a per-worker
+        :class:`~repro.obs.Tracer` (full timeline, for the merged Perfetto
+        export) and :class:`~repro.obs.FlightRecorder` (bounded forensics
+        ring) — or ``None``.
         """
         from repro.fault.guard import MachineGuard
 
@@ -370,6 +461,14 @@ class Supervisor:
                 guard = (guard_factory() if guard_factory is not None
                          else MachineGuard(escalate_unrecoverable=True))
                 machine.attach_guard(guard)
+                if recorder_factory is not None:
+                    recorder = recorder_factory(index)
+                    if recorder is not None:
+                        machine.attach_recorder(recorder)
+                if tracer_factory is not None:
+                    tracer = tracer_factory(index)
+                    if tracer is not None:
+                        machine.attach_tracer(tracer)
                 return machine
             breaker = (breaker_factory() if breaker_factory is not None
                        else CircuitBreaker())
@@ -377,7 +476,7 @@ class Supervisor:
                 f"worker{index}", factory, ledger, policy,
                 queue_capacity=queue_capacity, shed_enabled=shed_enabled,
                 breaker=breaker))
-        return cls(workers, ledger, metrics=metrics)
+        return cls(workers, ledger, metrics=metrics, sampler=sampler)
 
     # -- admission ---------------------------------------------------------
     def submit(self, item: WorkItem) -> bool:
@@ -412,6 +511,8 @@ class Supervisor:
                 self.submit(item)
             for worker in self.workers:
                 worker.advance(ticks, batch_per_worker)
+            if self.sampler is not None:
+                self.sampler.on_tick(self, ticks)
             if cursor >= len(pending) and self._drained():
                 break
         return self.report(ticks)
@@ -441,10 +542,32 @@ class Supervisor:
             permanent_failures=ledger.permanent_failures,
             checkpoints=ledger.checkpoints,
             time_to_recover=list(ledger.time_to_recover),
+            timeline=list(ledger.timeline),
+            forensics_bundles=sum(len(w.forensics) for w in self.workers),
         )
         if self.metrics is not None:
             self.publish(self.metrics, report)
         return report
+
+    # -- farm-wide observability -------------------------------------------
+    def machine_tracers(self) -> Dict[str, Any]:
+        """``{worker name: tracer}`` for the workers that trace, with any
+        buffered idle spans flushed — feed to
+        :func:`~repro.obs.merged_chrome_trace` together with
+        ``ledger.timeline`` for the whole-farm Perfetto view."""
+        tracers: Dict[str, Any] = {}
+        for worker in self.workers:
+            if worker.machine.tracer is not None:
+                worker.machine.flush_trace()
+                tracers[worker.name] = worker.machine.tracer
+        return tracers
+
+    def forensics_bundles(self) -> List[Dict[str, Any]]:
+        """Every worker's dumped bundles, in worker order."""
+        bundles: List[Dict[str, Any]] = []
+        for worker in self.workers:
+            bundles.extend(worker.forensics)
+        return bundles
 
     def publish(self, metrics, report: Optional[FarmReport] = None) -> None:
         """Publish supervisor counters into a metrics registry."""
@@ -496,6 +619,21 @@ class Supervisor:
                 worker.queue.high_watermark)
             scoped.counter("processed").value = worker.processed
             scoped.counter("restarts").value = worker.restarts_used
+            scoped.counter("forensics_bundles",
+                           "post-mortem bundles dumped").value = \
+                len(worker.forensics)
+            # copy the worker's latency distribution wholesale (assignment,
+            # not accumulation, so republishing stays idempotent)
+            latency = scoped.histogram(
+                "dispatch_latency_ticks",
+                "ticks from queue admission to completed processing",
+                buckets=worker.latency.buckets)
+            latency.counts = list(worker.latency.counts)
+            latency.overflow = worker.latency.overflow
+            latency.count = worker.latency.count
+            latency.sum = worker.latency.sum
+            latency.min = worker.latency.min
+            latency.max = worker.latency.max
 
 
 def generate_event_stream(events: Iterable[str], n_items: int,
