@@ -262,6 +262,8 @@ class VarDecl(Stmt):
     name: str
     typ: Type
     init: Optional[Expr] = None
+    #: source line (filled by the parser; None for synthesized nodes)
+    line: Optional[int] = None
 
     def __str__(self) -> str:
         init = f" = {self.init}" if self.init is not None else ""
@@ -275,6 +277,7 @@ class Assign(Stmt):
     target: Expr
     value: Expr
     op: Optional[BinOp] = None
+    line: Optional[int] = None
 
     def __str__(self) -> str:
         op = (self.op.value if self.op else "") + "="
@@ -286,6 +289,7 @@ class If(Stmt):
     cond: Expr
     then_body: List[Stmt]
     else_body: List[Stmt] = field(default_factory=list)
+    line: Optional[int] = None
 
 
 @dataclass
@@ -296,16 +300,19 @@ class While(Stmt):
     #: for WCET analysis ("otherwise explicit timing constraints must be
     #: specified" — section 4).
     bound: Optional[int] = None
+    line: Optional[int] = None
 
 
 @dataclass
 class Return(Stmt):
     value: Optional[Expr] = None
+    line: Optional[int] = None
 
 
 @dataclass
 class ExprStmt(Stmt):
     expr: Expr
+    line: Optional[int] = None
 
 
 # ---------------------------------------------------------------------------
@@ -326,6 +333,7 @@ class Function:
     body: List[Stmt]
     #: explicit WCET override in cycles (used instead of analysis if set)
     wcet_override: Optional[int] = None
+    line: Optional[int] = None
 
 
 @dataclass

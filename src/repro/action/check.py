@@ -59,6 +59,7 @@ from repro.action.ast import (
     type_width,
 )
 from repro.action.stdlib import BUILTINS, is_builtin
+from repro.analysis.diag import Diagnostic, Severity, SourceLocation
 
 
 class CheckError(Exception):
@@ -99,8 +100,14 @@ class _FunctionChecker:
         self.checker = checker
         self.function = function
         self.scopes: List[Dict[str, Type]] = [dict()]
+        #: line of the statement currently being checked, for diagnostics
+        self.current_line: Optional[int] = function.line
         for param in function.params:
             self.scopes[0][param.name] = param.typ
+
+    def error(self, message: str) -> None:
+        self.checker.error(message, line=self.current_line,
+                           obj=f"function {self.function.name!r}")
 
     # -- scope helpers -------------------------------------------------------
     def lookup(self, name: str) -> Optional[Type]:
@@ -111,8 +118,7 @@ class _FunctionChecker:
 
     def declare(self, name: str, typ: Type) -> None:
         if name in self.scopes[-1]:
-            self.checker.error(
-                f"{self.function.name}: redeclaration of {name!r}")
+            self.error(f"{self.function.name}: redeclaration of {name!r}")
         self.scopes[-1][name] = typ
 
     # -- statements -----------------------------------------------------------
@@ -124,6 +130,8 @@ class _FunctionChecker:
 
     def check_stmt(self, stmt: Stmt) -> None:
         fname = self.function.name
+        if getattr(stmt, "line", None) is not None:
+            self.current_line = stmt.line
         if isinstance(stmt, VarDecl):
             if stmt.init is not None:
                 self.check_expr(stmt.init)
@@ -132,9 +140,9 @@ class _FunctionChecker:
             target_type = self.check_expr(stmt.target)
             self.check_expr(stmt.value)
             if not isinstance(stmt.target, (NameRef, FieldAccess, Index)):
-                self.checker.error(f"{fname}: assignment to non-lvalue")
+                self.error(f"{fname}: assignment to non-lvalue")
             elif isinstance(target_type, (StructType, ArrayType)):
-                self.checker.error(
+                self.error(
                     f"{fname}: cannot assign whole {target_type}")
             elif (isinstance(stmt.target, NameRef)
                   and self.lookup(stmt.target.name) is None):
@@ -146,24 +154,24 @@ class _FunctionChecker:
         elif isinstance(stmt, While):
             self.check_expr(stmt.cond)
             if stmt.bound is None and self.function.wcet_override is None:
-                self.checker.error(
+                self.error(
                     f"{fname}: while loop needs @bound(N) (or the function "
                     "an @wcet override) for timing analysis")
             if stmt.bound is not None and stmt.bound <= 0:
-                self.checker.error(f"{fname}: @bound must be positive")
+                self.error(f"{fname}: @bound must be positive")
             self.check_body(stmt.body)
         elif isinstance(stmt, Return):
             if stmt.value is not None:
                 self.check_expr(stmt.value)
                 if isinstance(self.function.return_type, VoidType):
-                    self.checker.error(
+                    self.error(
                         f"{fname}: returning a value from a void function")
             elif not isinstance(self.function.return_type, VoidType):
-                self.checker.error(f"{fname}: missing return value")
+                self.error(f"{fname}: missing return value")
         elif isinstance(stmt, ExprStmt):
             self.check_expr(stmt.expr)
         else:  # pragma: no cover - parser produces no other nodes
-            self.checker.error(f"{fname}: unknown statement {stmt!r}")
+            self.error(f"{fname}: unknown statement {stmt!r}")
 
     # -- expressions ------------------------------------------------------------
     def check_expr(self, expr: Expr) -> Type:
@@ -173,7 +181,7 @@ class _FunctionChecker:
 
     def _infer(self, expr: Expr) -> Type:
         fname = self.function.name
-        error = self.checker.error
+        error = self.error
         if isinstance(expr, IntLiteral):
             width = max(1, abs(expr.value).bit_length())
             return IntType(max(width, 1), signed=expr.value < 0)
@@ -239,7 +247,7 @@ class _FunctionChecker:
 
     def _infer_call(self, call: Call) -> Type:
         fname = self.function.name
-        error = self.checker.error
+        error = self.error
         externals = self.checker.externals
         if is_builtin(call.name):
             kinds, return_type = BUILTINS[call.name]
@@ -278,16 +286,44 @@ class _FunctionChecker:
 
 
 class Checker:
-    def __init__(self, program: Program, externals: Optional[Externals] = None) -> None:
+    def __init__(self, program: Program, externals: Optional[Externals] = None,
+                 source_path: Optional[str] = None) -> None:
         self.program = program
         self.externals = externals or Externals()
         self.problems: List[str] = []
+        #: structured form of ``problems``: same messages plus stable codes
+        #: and source locations (line numbers threaded from the parser)
+        self.diagnostics: List[Diagnostic] = []
+        self.source_path = source_path
         self.global_types: Dict[str, Type] = {}
 
-    def error(self, message: str) -> None:
+    def error(self, message: str, *, line: Optional[int] = None,
+              code: str = "PSC302", obj: str = "") -> None:
         self.problems.append(message)
+        self.diagnostics.append(Diagnostic(
+            code=code, severity=Severity.ERROR, message=message,
+            location=SourceLocation(file=self.source_path, line=line,
+                                    obj=obj)))
+
+    def analyze(self) -> CheckedProgram:
+        """Check everything, collecting problems instead of raising.
+
+        Every error is accumulated in :attr:`problems` (message strings)
+        and :attr:`diagnostics` (coded, located) so callers can report all
+        of them together.  The returned program is only trustworthy when
+        no problems were found.
+        """
+        return self._run_checks()
 
     def run(self) -> CheckedProgram:
+        checked = self._run_checks()
+        if self.problems:
+            raise CheckError(
+                "action program is not well-formed:\n  " +
+                "\n  ".join(self.problems))
+        return checked
+
+    def _run_checks(self) -> CheckedProgram:
         # enum members are global constants
         for enum_type in self.program.enums + [
                 t for _, t in self.program.typedefs if isinstance(t, EnumType)]:
@@ -315,10 +351,6 @@ class Checker:
 
         call_order = self._check_recursion()
 
-        if self.problems:
-            raise CheckError(
-                "action program is not well-formed:\n  " +
-                "\n  ".join(self.problems))
         return CheckedProgram(self.program, self.externals,
                               self.global_types, call_order)
 
@@ -335,7 +367,10 @@ class Checker:
                 return
             if state.get(name) == 0:
                 cycle = " -> ".join(stack[stack.index(name):] + (name,))
-                self.error(f"recursion is not permitted: {cycle}")
+                self.error(f"recursion is not permitted: {cycle}",
+                           code="PSC303",
+                           line=self.program.function(name).line,
+                           obj=f"function {name!r}")
                 return
             state[name] = 0
             for callee in graph.get(name, ()):

@@ -245,10 +245,11 @@ class Parser:
 
     def parse_type_lead(self, program: Program) -> None:
         """A declaration starting with a type: global var or function."""
+        line = self.peek().line
         typ = self.parse_type()
         name = self.expect_name().value
         if self.peek().value == "(":
-            program.functions.append(self.parse_function(typ, name))
+            program.functions.append(self.parse_function(typ, name, line))
         else:
             program.globals.append(self.parse_global(typ, name))
 
@@ -279,7 +280,8 @@ class Parser:
         self.expect(";")
         return GlobalVar(name, typ, init=init, init_list=init_list)
 
-    def parse_function(self, return_type: Type, name: str) -> Function:
+    def parse_function(self, return_type: Type, name: str,
+                       line: Optional[int] = None) -> Function:
         self.expect("(")
         params: List[Param] = []
         if self.peek().value != ")":
@@ -305,7 +307,8 @@ class Parser:
             wcet = self.expect_number().number
             self.expect(")")
         body = self.parse_block()
-        return Function(name, params, return_type, body, wcet_override=wcet)
+        return Function(name, params, return_type, body, wcet_override=wcet,
+                        line=line)
 
     # -- statements ------------------------------------------------------------
     def parse_block(self) -> List[Stmt]:
@@ -327,14 +330,14 @@ class Parser:
             self.take()
             value = None if self.peek().value == ";" else self.parse_expr()
             self.expect(";")
-            return Return(value)
+            return Return(value, line=token.line)
         if self.at_type():
             typ = self.parse_type()
             name = self.expect_name().value
             typ = self.parse_array_suffix(typ)
             init = self.parse_expr() if self.accept("=") else None
             self.expect(";")
-            return VarDecl(name, typ, init)
+            return VarDecl(name, typ, init, line=token.line)
         # expression or assignment
         expr = self.parse_expr()
         op_token = self.peek()
@@ -345,9 +348,10 @@ class Parser:
             if not isinstance(expr, (NameRef, FieldAccess, Index)):
                 raise ActionParseError("assignment target must be a variable, "
                                        "field or element", op_token.line)
-            return Assign(expr, value, _ASSIGN_OPS[op_token.value])
+            return Assign(expr, value, _ASSIGN_OPS[op_token.value],
+                          line=token.line)
         self.expect(";")
-        return ExprStmt(expr)
+        return ExprStmt(expr, line=token.line)
 
     def parse_annotated(self) -> Stmt:
         line = self.expect("@").line
@@ -362,6 +366,7 @@ class Parser:
         return self.parse_while(bound=bound)
 
     def parse_if(self) -> Stmt:
+        line = self.peek().line
         self.expect("if")
         self.expect("(")
         cond = self.parse_expr()
@@ -375,16 +380,17 @@ class Parser:
             else:
                 else_body = (self.parse_block() if self.peek().value == "{"
                              else [self.parse_stmt()])
-        return If(cond, then_body, else_body)
+        return If(cond, then_body, else_body, line=line)
 
     def parse_while(self, bound: Optional[int]) -> Stmt:
+        line = self.peek().line
         self.expect("while")
         self.expect("(")
         cond = self.parse_expr()
         self.expect(")")
         body = (self.parse_block() if self.peek().value == "{"
                 else [self.parse_stmt()])
-        return While(cond, body, bound=bound)
+        return While(cond, body, bound=bound, line=line)
 
     # -- expressions -----------------------------------------------------------
     def parse_expr(self) -> Expr:

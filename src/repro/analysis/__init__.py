@@ -1,0 +1,69 @@
+"""Cross-layer static analysis: the ``repro lint`` diagnostics framework.
+
+Eagerly exports only the dependency-free core (:mod:`repro.analysis.diag`,
+:mod:`repro.analysis.emitters`); the analysis passes and the runner import
+chart/action/flow machinery and are loaded lazily so that low-level modules
+(e.g. :mod:`repro.statechart.validate`, :mod:`repro.action.check`) can
+import the diagnostic core without cycles.
+"""
+
+from repro.analysis.diag import (
+    CODES,
+    Collector,
+    DEFAULT_SUPPRESSED,
+    Diagnostic,
+    Severity,
+    SourceLocation,
+    count_by_severity,
+    default_severity,
+    finalize,
+    known_code,
+)
+from repro.analysis.emitters import (
+    RENDERERS,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+_LAZY = {
+    "wellformedness": "repro.analysis.chart_lint",
+    "design_smells": "repro.analysis.chart_lint",
+    "determinism": "repro.analysis.chart_lint",
+    "quiescence": "repro.analysis.chart_lint",
+    "transition_effects": "repro.analysis.effects",
+    "Effects": "repro.analysis.effects",
+    "and_region_races": "repro.analysis.races",
+    "action_dataflow": "repro.analysis.dataflow",
+    "budget_lint": "repro.analysis.budget",
+    "sla_lint": "repro.analysis.sla_lint",
+    "LintResult": "repro.analysis.runner",
+    "lint_system": "repro.analysis.runner",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "CODES",
+    "Collector",
+    "DEFAULT_SUPPRESSED",
+    "Diagnostic",
+    "RENDERERS",
+    "Severity",
+    "SourceLocation",
+    "count_by_severity",
+    "default_severity",
+    "finalize",
+    "known_code",
+    "render_json",
+    "render_sarif",
+    "render_text",
+] + sorted(_LAZY)

@@ -1,0 +1,342 @@
+"""Statechart analyses: well-formedness, determinism, quiescence.
+
+The well-formedness and design-smell checks are the diagnostic-framework
+form of the legacy ``chart_problems``/``chart_warnings`` lists (which now
+wrap these functions); the determinism analysis is new — it reasons about
+*pairs* of transitions:
+
+* two transitions **conflict** when their scopes are ancestrally related and
+  their sources can be part of one configuration; the interpreter resolves
+  such conflicts deterministically (outermost scope first, then declaration
+  order), so a conflict is only an *error* when the loser can never fire at
+  all (its enabling condition is covered by the winner's — PSC201).  A plain
+  satisfiable overlap is the documented priority semantics and is reported
+  as an opt-in note (PSC202).
+* transitions in *different* regions of one AND state fire in the same
+  configuration cycle — write-write races on those pairs are found by
+  :mod:`repro.analysis.races` (PSC203) using the action effect analysis.
+
+Enabling conditions are compared through their sum-of-products form
+(:meth:`repro.statechart.expr.Expr.to_sop`), treating events and conditions
+as free variables — an over-approximation of reachability that never calls
+two satisfiable enables disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.diag import Collector, Diagnostic, SourceLocation
+from repro.statechart.model import Chart, StateKind, Transition
+
+#: One product term of an enabling condition: (positive, negative) literals.
+Product = Tuple[FrozenSet[str], FrozenSet[str]]
+
+
+def _loc(chart: Chart, path: Optional[str],
+         line: Optional[int], obj: str) -> SourceLocation:
+    return SourceLocation(file=path, line=line, obj=obj)
+
+
+def _transition_loc(chart: Chart, path: Optional[str],
+                    transition: Transition) -> SourceLocation:
+    return _loc(chart, path, transition.line,
+                f"transition {transition.index}")
+
+
+def _state_loc(chart: Chart, path: Optional[str], name: str
+               ) -> SourceLocation:
+    state = chart.states.get(name)
+    return _loc(chart, path, state.line if state else None,
+                f"state {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# well-formedness (PSC10x) and design smells (PSC15x)
+# ---------------------------------------------------------------------------
+
+def wellformedness(chart: Chart, path: Optional[str] = None
+                   ) -> List[Diagnostic]:
+    """Structural violations; message texts match the legacy string API."""
+    out = Collector()
+    declared = set(chart.events) | set(chart.conditions)
+
+    for state in chart.states.values():
+        location = _state_loc(chart, path, state.name)
+        if state.kind is StateKind.OR and state.children:
+            default = state.default or state.children[0]
+            if default not in state.children:
+                out.emit("PSC101",
+                         f"OR-state {state.name!r}: default {default!r} "
+                         "is not a child",
+                         location=location,
+                         hint="name one of the contained states as default")
+        if state.kind is StateKind.AND and len(state.children) < 2:
+            out.emit("PSC102",
+                     f"AND-state {state.name!r} has "
+                     f"{len(state.children)} region(s); needs at least 2",
+                     location=location,
+                     hint="an AND state models parallelism; give it two or "
+                          "more regions or make it an OR state")
+        if state.kind is StateKind.BASIC and state.children:
+            out.emit("PSC103",
+                     f"basic state {state.name!r} must not contain children",
+                     location=location,
+                     hint="declare the state as orstate/andstate")
+        if state.kind is StateKind.REF:
+            if state.ref is None:
+                out.emit("PSC104",
+                         f"ref state {state.name!r} refers to no chart",
+                         location=location)
+            if state.children:
+                out.emit("PSC105",
+                         f"ref state {state.name!r} must not contain "
+                         "children",
+                         location=location)
+
+    for transition in chart.transitions:
+        location = _transition_loc(chart, path, transition)
+        for name in sorted(transition.names_consumed()):
+            if name not in declared:
+                out.emit("PSC106",
+                         f"transition {transition.describe()}: "
+                         f"undeclared event/condition {name!r}",
+                         location=location,
+                         hint=f"declare {name!r} as an event or condition")
+        if transition.target == chart.root:
+            out.emit("PSC107",
+                     f"transition {transition.describe()}: "
+                     "may not target the root",
+                     location=location)
+
+    for event in chart.events.values():
+        if event.period is not None and event.period <= 0:
+            out.emit("PSC108",
+                     f"event {event.name!r}: period must be positive",
+                     location=_loc(chart, path, None,
+                                   f"event {event.name!r}"))
+
+    for port_name in sorted({e.port for e in chart.events.values()
+                             if e.port}):
+        if port_name not in chart.ports:
+            out.emit("PSC109", f"event port {port_name!r} is not declared",
+                     location=_loc(chart, path, None,
+                                   f"port {port_name!r}"))
+    for port_name in sorted({c.port for c in chart.conditions.values()
+                             if c.port}):
+        if port_name not in chart.ports:
+            out.emit("PSC110",
+                     f"condition port {port_name!r} is not declared",
+                     location=_loc(chart, path, None,
+                                   f"port {port_name!r}"))
+    return out.diagnostics
+
+
+def design_smells(chart: Chart, path: Optional[str] = None
+                  ) -> List[Diagnostic]:
+    """Non-fatal smells; message texts match the legacy string API."""
+    from repro.statechart.graph import reachable_states
+
+    out = Collector()
+    reached = reachable_states(chart)
+    for state in chart.states.values():
+        if state.name not in reached:
+            out.emit("PSC150",
+                     f"state {state.name!r} is structurally unreachable",
+                     location=_state_loc(chart, path, state.name),
+                     hint="add a transition into it or delete it; it wastes "
+                          "SLA terms and CR bits")
+
+    used = set()
+    for transition in chart.transitions:
+        used |= transition.names_consumed()
+    for name in chart.events:
+        if name not in used:
+            out.emit("PSC151", f"event {name!r} triggers no transition",
+                     location=_loc(chart, path, None, f"event {name!r}"))
+    for name in chart.conditions:
+        if name not in used:
+            out.emit("PSC152", f"condition {name!r} guards no transition",
+                     location=_loc(chart, path, None,
+                                   f"condition {name!r}"))
+    return out.diagnostics
+
+
+# ---------------------------------------------------------------------------
+# enabling conditions as sums of products
+# ---------------------------------------------------------------------------
+
+def enable_products(transition: Transition) -> List[Product]:
+    """SOP form of ``trigger AND guard`` (``TRUE`` when both are absent)."""
+    parts = []
+    for expression in (transition.trigger, transition.guard):
+        parts.append(expression.to_sop() if expression is not None
+                     else [(frozenset(), frozenset())])
+    products: List[Product] = []
+    for t_pos, t_neg in parts[0]:
+        for g_pos, g_neg in parts[1]:
+            pos, neg = t_pos | g_pos, t_neg | g_neg
+            if pos & neg:
+                continue  # contradictory, unsatisfiable
+            products.append((pos, neg))
+    return products
+
+
+def jointly_satisfiable(a: Sequence[Product], b: Sequence[Product]) -> bool:
+    """Can both enabling conditions hold under one signal assignment?"""
+    for a_pos, a_neg in a:
+        for b_pos, b_neg in b:
+            if not ((a_pos | b_pos) & (a_neg | b_neg)):
+                return True
+    return False
+
+
+def covers(winner: Sequence[Product], loser: Sequence[Product]) -> bool:
+    """True when every assignment enabling *loser* also enables *winner*.
+
+    Sufficient (product-wise subsumption), not complete — it never claims
+    coverage that does not hold.
+    """
+    if not loser:
+        return True  # loser is unsatisfiable outright
+    for l_pos, l_neg in loser:
+        if not any(w_pos <= l_pos and w_neg <= l_neg
+                   for w_pos, w_neg in winner):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# structural predicates
+# ---------------------------------------------------------------------------
+
+def co_occupiable(chart: Chart, a: str, b: str) -> bool:
+    """Can states *a* and *b* be part of one configuration?"""
+    if a == b or chart.is_ancestor(a, b) or chart.is_ancestor(b, a):
+        return True
+    return chart.states[chart.lca(a, b)].kind is StateKind.AND
+
+
+def orthogonal(chart: Chart, a: str, b: str) -> bool:
+    """States in different regions of one AND state (both can be active
+    and transitions from both fire in the same cycle)."""
+    if a == b or chart.is_ancestor(a, b) or chart.is_ancestor(b, a):
+        return False
+    return chart.states[chart.lca(a, b)].kind is StateKind.AND
+
+
+def _scopes_related(chart: Chart, s1: str, s2: str) -> bool:
+    return (s1 == s2 or chart.is_ancestor(s1, s2)
+            or chart.is_ancestor(s2, s1))
+
+
+# ---------------------------------------------------------------------------
+# determinism (PSC201 / PSC202)
+# ---------------------------------------------------------------------------
+
+def determinism(chart: Chart, path: Optional[str] = None
+                ) -> List[Diagnostic]:
+    """Conflicting transition pairs: shadowing errors and priority notes."""
+    out = Collector()
+    transitions = chart.transitions
+    products = {t.index: enable_products(t) for t in transitions}
+    scopes = {t.index: chart.transition_scope(t) for t in transitions}
+
+    def priority(t: Transition) -> Tuple[int, int]:
+        # mirrors Interpreter.select: outermost scope wins, then order
+        return (chart.depth(scopes[t.index]), t.index)
+
+    for i, first in enumerate(transitions):
+        for second in transitions[i + 1:]:
+            if not _scopes_related(chart, scopes[first.index],
+                                   scopes[second.index]):
+                continue  # parallel domains; the race pass owns those
+            if not co_occupiable(chart, first.source, second.source):
+                continue
+            if not jointly_satisfiable(products[first.index],
+                                       products[second.index]):
+                continue
+            winner, loser = sorted((first, second), key=priority)
+            dominated = (winner.source == loser.source
+                         or chart.is_ancestor(winner.source, loser.source))
+            if dominated and covers(products[winner.index],
+                                    products[loser.index]):
+                out.emit(
+                    "PSC201",
+                    f"transition {loser.describe()} can never fire: "
+                    f"{winner.describe()} has priority and its enabling "
+                    "condition covers it",
+                    location=_transition_loc(chart, path, loser),
+                    hint="reorder the transitions or make the triggers/"
+                         "guards disjoint")
+            else:
+                out.emit(
+                    "PSC202",
+                    f"transitions {winner.describe()} and "
+                    f"{loser.describe()} can be enabled together; the "
+                    "conflict is resolved by priority (outermost scope, "
+                    "then declaration order)",
+                    location=_transition_loc(chart, path, loser))
+    return out.diagnostics
+
+
+# ---------------------------------------------------------------------------
+# quiescence (PSC204)
+# ---------------------------------------------------------------------------
+
+def quiescence(chart: Chart,
+               raised_by: Dict[int, FrozenSet[str]],
+               path: Optional[str] = None) -> List[Diagnostic]:
+    """Cycles in the trigger-event -> raised-event graph.
+
+    *raised_by* maps transition index -> events its action may ``Raise``
+    (computed by the effect analysis).  A cycle means a step can keep
+    feeding itself events, so the machine may never return to quiescence
+    between external stimuli.
+    """
+    out = Collector()
+    edges: Dict[str, set] = {}
+    for transition in chart.transitions:
+        raised = raised_by.get(transition.index, frozenset())
+        if not raised:
+            continue
+        positive = set()
+        for expression in (transition.trigger, transition.guard):
+            if expression is not None:
+                pos, _ = expression.polarity_names()
+                positive |= pos
+        for trigger_event in sorted(positive & set(chart.events)):
+            edges.setdefault(trigger_event, set()).update(
+                raised & set(chart.events))
+
+    # Tarjan-free SCC detection on a tiny graph: iterative DFS per node
+    def reaches(start: str, goal: str) -> bool:
+        seen, stack = set(), [start]
+        while stack:
+            node = stack.pop()
+            for successor in sorted(edges.get(node, ())):
+                if successor == goal:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return False
+
+    reported = set()
+    for event in sorted(edges):
+        if event in reported:
+            continue
+        if event in edges.get(event, ()) or reaches(event, event):
+            cycle = sorted({event} | {other for other in edges
+                                      if reaches(event, other)
+                                      and reaches(other, event)})
+            reported.update(cycle)
+            out.emit(
+                "PSC204",
+                f"raised-event cycle through {', '.join(cycle)}: a step "
+                "can re-trigger itself, so the chart may never reach "
+                "quiescence",
+                location=_loc(chart, path, None,
+                              f"event {event!r}"),
+                hint="break the cycle or bound it with a condition")
+    return out.diagnostics

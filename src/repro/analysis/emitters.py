@@ -1,0 +1,105 @@
+"""Deterministic renderers for diagnostic lists: text, JSON, SARIF.
+
+All three emitters are pure functions of the diagnostic list — no
+timestamps, no absolute paths, no environment probes — so two runs over the
+same sources produce byte-identical output (CI asserts this with ``cmp``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.diag import (
+    CODES,
+    Diagnostic,
+    count_by_severity,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-lint"
+
+
+def render_text(diagnostics: Sequence[Diagnostic],
+                header: Optional[str] = None) -> str:
+    """One line per diagnostic plus a severity-count summary line."""
+    lines: List[str] = []
+    if header:
+        lines.append(header)
+    lines.extend(d.format() for d in diagnostics)
+    counts = count_by_severity(diagnostics)
+    lines.append(f"{counts['error']} error(s), {counts['warning']} "
+                 f"warning(s), {counts['note']} note(s)")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    document = {
+        "version": 1,
+        "tool": TOOL_NAME,
+        "counts": count_by_severity(diagnostics),
+        "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules(diagnostics: Sequence[Diagnostic]) -> List[Dict]:
+    rules = []
+    for code in sorted({d.code for d in diagnostics}):
+        info = CODES.get(code)
+        rule: Dict[str, object] = {"id": code}
+        if info is not None:
+            rule["shortDescription"] = {"text": info.title}
+            rule["defaultConfiguration"] = {
+                "level": info.severity.value}
+        rules.append(rule)
+    return rules
+
+
+def _sarif_result(diagnostic: Diagnostic) -> Dict:
+    result: Dict[str, object] = {
+        "ruleId": diagnostic.code,
+        "level": diagnostic.severity.value,
+        "message": {"text": diagnostic.message},
+    }
+    location = diagnostic.location
+    if location.file is not None:
+        physical: Dict[str, object] = {
+            "artifactLocation": {"uri": location.file}}
+        if location.line is not None:
+            physical["region"] = {"startLine": location.line}
+        result["locations"] = [{"physicalLocation": physical}]
+    if location.obj:
+        result["properties"] = {"object": location.obj}
+    if diagnostic.hint:
+        result.setdefault("properties", {})
+        result["properties"]["hint"] = diagnostic.hint  # type: ignore[index]
+    return result
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """Static Analysis Results Interchange Format 2.1.0 (one run)."""
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "rules": _sarif_rules(diagnostics),
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [_sarif_result(d) for d in diagnostics],
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

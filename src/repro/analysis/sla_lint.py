@@ -1,0 +1,94 @@
+"""SLA / Transition Address Table lint (PSC501, PSC502).
+
+Two backend invariants worth checking *before* synthesis:
+
+* **PSC501** — two TAT entries with the same (source, target, trigger,
+  guard, action) are the same transition listed twice; the SLA synthesizes
+  identical AND-plane terms and the duplicate silently wastes product
+  terms and a TAT slot (and under priority semantics the second can never
+  contribute).
+* **PSC502** — the state encoding must *distinguish* states that the chart
+  declares mutually exclusive (children of one OR along any path).  If two
+  such states' field constraints are jointly satisfiable, one CR value
+  activates both and the SLA may fire transitions from a state the machine
+  is not in.  The shipped exclusivity-set encoder cannot produce this by
+  construction; the check guards alternative/hand-written encodings (and
+  documents the invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.chart_lint import _transition_loc, co_occupiable
+from repro.analysis.diag import Collector, Diagnostic, SourceLocation
+from repro.sla.encode import StateEncoding, binary_encoding
+from repro.statechart.model import Chart, Transition
+
+
+def _tat_key(transition: Transition) -> Tuple[str, str, str, str, str]:
+    return (transition.source, transition.target,
+            str(transition.trigger) if transition.trigger is not None else "",
+            str(transition.guard) if transition.guard is not None else "",
+            transition.action or "")
+
+
+def _jointly_satisfiable(a, b) -> bool:
+    """Can one state-field value match both constraint tuples?"""
+    bits: Dict[int, int] = {}
+    for constraint in (*a, *b):
+        for bit in range(constraint.width):
+            value = (constraint.value >> bit) & 1
+            position = constraint.offset + bit
+            if bits.setdefault(position, value) != value:
+                return False
+    return True
+
+
+def sla_lint(chart: Chart,
+             encoding: Optional[StateEncoding] = None,
+             path: Optional[str] = None) -> List[Diagnostic]:
+    """TAT duplicate and encoding-collision diagnostics."""
+    out = Collector()
+
+    groups: Dict[Tuple[str, str, str, str, str], List[Transition]] = {}
+    for transition in chart.transitions:
+        groups.setdefault(_tat_key(transition), []).append(transition)
+    for key in sorted(groups):
+        entries = groups[key]
+        if len(entries) < 2:
+            continue
+        first, *rest = entries
+        for duplicate in rest:
+            out.emit(
+                "PSC501",
+                f"duplicate TAT entry: transition {duplicate.describe()} "
+                f"(index {duplicate.index}) repeats index {first.index}; "
+                "the duplicate wastes an SLA product term and can never "
+                "contribute under priority",
+                location=_transition_loc(chart, path, duplicate),
+                hint="delete one of the identical transitions")
+
+    if encoding is None:
+        encoding = binary_encoding(chart)
+    names = sorted(encoding.constraints)
+    for i, first in enumerate(names):
+        if first not in chart.states:
+            continue
+        for second in names[i + 1:]:
+            if second not in chart.states:
+                continue
+            if co_occupiable(chart, first, second):
+                continue  # allowed to share/overlap encodings
+            if _jointly_satisfiable(encoding.constraints[first],
+                                    encoding.constraints[second]):
+                out.emit(
+                    "PSC502",
+                    f"state encoding collision: mutually exclusive states "
+                    f"{first!r} and {second!r} have jointly satisfiable "
+                    "field constraints, so one CR value activates both",
+                    location=SourceLocation(file=path, line=None,
+                                            obj=f"state {first!r}"),
+                    hint="use the exclusivity-set encoder or assign the "
+                         "states distinct selector values")
+    return out.diagnostics

@@ -17,6 +17,19 @@ Usage::
     --floorplan                  print the CLB floorplan
     --json                       machine-readable summary
 
+Static analysis subcommand (see docs/ANALYSIS.md)::
+
+    python -m repro lint PROJECT [--format text|json|sarif] [--out PATH]
+                                 [--suppress CODES] [--enable CODES]
+    python -m repro lint --workload smd|elevator
+
+``lint`` runs the cross-layer analyzer: chart well-formedness and design
+smells, transition determinism (shadowing/priority overlap), AND-region
+write-write races, action-routine dataflow (use-before-init, dead stores,
+constant conditions, width truncation), WCET/budget checks against the ISA
+cost model, and SLA/TAT invariants.  Exit status 1 means error-severity
+diagnostics; warnings exit 0.
+
 Observability subcommands (see docs/OBSERVABILITY.md)::
 
     python -m repro trace PROJECT [--out trace.json] [--cycles N] ...
@@ -128,9 +141,9 @@ def _sim_argument_parser(prog: str, description: str
     return parser
 
 
-def _load_sources(project: str, routines: Optional[str]
-                  ) -> Tuple[str, str]:
-    """Resolve (chart text, routine text) from a directory or a file pair."""
+def _resolve_paths(project: str, routines: Optional[str]
+                   ) -> Tuple[str, str]:
+    """Resolve (chart path, routine path) from a directory or a file pair."""
     if os.path.isdir(project):
         charts = sorted(name for name in os.listdir(project)
                         if name.endswith(".sc"))
@@ -140,13 +153,18 @@ def _load_sources(project: str, routines: Optional[str]
             raise OSError(
                 f"{project}: expected exactly one *.sc and one *.c file, "
                 f"found {charts or 'no charts'} / {sources or 'no routines'}")
-        chart_path = os.path.join(project, charts[0])
-        routine_path = os.path.join(project, sources[0])
-    else:
-        if routines is None:
-            raise OSError(
-                f"{project} is not a directory; pass the routine file too")
-        chart_path, routine_path = project, routines
+        return (os.path.join(project, charts[0]),
+                os.path.join(project, sources[0]))
+    if routines is None:
+        raise OSError(
+            f"{project} is not a directory; pass the routine file too")
+    return project, routines
+
+
+def _load_sources(project: str, routines: Optional[str]
+                  ) -> Tuple[str, str]:
+    """Resolve (chart text, routine text) from a directory or a file pair."""
+    chart_path, routine_path = _resolve_paths(project, routines)
     with open(chart_path) as handle:
         chart_text = handle.read()
     with open(routine_path) as handle:
@@ -154,13 +172,13 @@ def _load_sources(project: str, routines: Optional[str]
     return chart_text, routine_text
 
 
-def _build_for_simulation(chart, routine_text: str, args):
-    """Build the system a trace/stats run simulates.
+def _arch_for_chart(chart, routine_text: str, args):
+    """Shared architecture defaulting for simulation and lint runs.
 
     The SMD chart defaults to the paper's final architecture (two 16-bit
-    M/D TEPs, optimized code, declared mutual exclusions) so the per-TEP
-    tracks show real parallelism; other charts default to the auto-selected
-    architecture.
+    M/D TEPs, optimized code, declared mutual exclusions); other charts
+    default to the auto-selected architecture with one TEP.  Returns
+    (arch, specialize-routines?).
     """
     is_smd = chart.name == "smd_pickup_head"
     if args.arch is not None:
@@ -177,6 +195,12 @@ def _build_for_simulation(chart, routine_text: str, args):
     optimize = args.optimize or is_smd
     arch = arch.with_(n_teps=teps, mutual_exclusions=exclusions,
                       microcode_optimized=optimize)
+    return arch, optimize
+
+
+def _build_for_simulation(chart, routine_text: str, args):
+    """Build the system a trace/stats run simulates."""
+    arch, optimize = _arch_for_chart(chart, routine_text, args)
     return build_system(chart, routine_text, arch, specialize=optimize)
 
 
@@ -616,8 +640,157 @@ def run_forensics(argv: List[str], out=sys.stdout) -> int:
     return 0
 
 
+def _parse_code_list(text: Optional[str]) -> Tuple[str, ...]:
+    if not text:
+        return ()
+    return tuple(code.strip() for code in text.split(",") if code.strip())
+
+
+def _lint_workload(name: str):
+    """(chart, routine text, arch, specialize, storage_map, system, label)
+    for a shipped workload under its blessed architecture."""
+    if name == "smd":
+        from repro.workloads import (
+            SMD_MUTUAL_EXCLUSIONS,
+            SMD_ROUTINES,
+            smd_chart,
+        )
+
+        arch = MD16_TEP.with_(n_teps=2,
+                              mutual_exclusions=SMD_MUTUAL_EXCLUSIONS,
+                              microcode_optimized=True)
+        return smd_chart(), SMD_ROUTINES, arch, True, None, None, "smd"
+    from repro.workloads.elevator import (
+        ELEVATOR_MUTUAL_EXCLUSIONS,
+        ELEVATOR_ROUTINES,
+        elevator_chart,
+    )
+
+    improved = Improver(elevator_chart(), ELEVATOR_ROUTINES,
+                        initial_arch=MD16_TEP,
+                        mutual_exclusions=ELEVATOR_MUTUAL_EXCLUSIONS,
+                        max_teps=3).run()
+    system = improved.final
+    return (elevator_chart(), ELEVATOR_ROUTINES, system.arch, True,
+            system.storage_map, system, "elevator")
+
+
+def run_lint(argv: List[str], out=sys.stdout) -> int:
+    """``repro lint``: cross-layer static analysis with stable codes.
+
+    Exit status: 0 clean (warnings allowed), 1 when any error-severity
+    diagnostic survives, 2 when the inputs cannot be loaded or the chart
+    does not parse.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="statically analyze a chart + routines: determinism "
+                    "conflicts, AND-region races, action dataflow, WCET "
+                    "budgets and SLA/TAT invariants (see docs/ANALYSIS.md)")
+    parser.add_argument("project", nargs="?", default=None,
+                        help="project directory (one *.sc + one *.c) or a "
+                             "chart file followed by a routine file")
+    parser.add_argument("routines", nargs="?", default=None,
+                        help="routine file (when PROJECT is a chart file)")
+    parser.add_argument("--workload", choices=["smd", "elevator"],
+                        help="lint a shipped workload under its blessed "
+                             "architecture instead of reading files")
+    parser.add_argument("--arch", choices=sorted(_ARCHS),
+                        help="architecture (default: auto-select)")
+    parser.add_argument("--teps", type=_positive_int, default=None,
+                        help="number of TEPs (default: 2 for the SMD chart)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="peephole + constant-argument specialization")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text", help="output format (default: text)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report to PATH instead of stdout")
+    parser.add_argument("--suppress", default=None, metavar="CODES",
+                        help="comma-separated diagnostic codes to drop")
+    parser.add_argument("--enable", default=None, metavar="CODES",
+                        help="comma-separated default-suppressed codes to "
+                             "re-enable (e.g. PSC202)")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import (
+        Diagnostic,
+        Severity,
+        SourceLocation,
+        known_code,
+        lint_system,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+    from repro.statechart.model import ChartError
+    from repro.statechart.parser import ParseError
+
+    for code in (_parse_code_list(args.suppress)
+                 + _parse_code_list(args.enable)):
+        if not known_code(code):
+            print(f"error: unknown diagnostic code {code!r}", file=out)
+            return 2
+
+    storage_map = system = None
+    if args.workload is not None:
+        (chart, routine_text, arch, specialize, storage_map, system,
+         label) = _lint_workload(args.workload)
+        chart_path, source_path = f"{label}.sc", f"{label}.c"
+    else:
+        if args.project is None:
+            parser.error("PROJECT or --workload is required")
+        try:
+            chart_path, source_path = _resolve_paths(args.project,
+                                                     args.routines)
+            with open(chart_path) as handle:
+                chart_text = handle.read()
+            with open(source_path) as handle:
+                routine_text = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            chart = parse_chart(chart_text)
+        except (ParseError, ChartError) as exc:
+            diagnostic = Diagnostic(
+                code="PSC100", severity=Severity.ERROR,
+                message=f"chart does not parse: {exc}",
+                location=SourceLocation(file=chart_path,
+                                        line=getattr(exc, "line", None)))
+            print(render_text([diagnostic], header=chart_path), file=out,
+                  end="")
+            return 2
+        arch, specialize = _arch_for_chart(chart, routine_text, args)
+
+    result = lint_system(
+        chart, routine_text, arch,
+        specialize=specialize, storage_map=storage_map, system=system,
+        chart_path=chart_path, source_path=source_path,
+        suppress=_parse_code_list(args.suppress),
+        enable=_parse_code_list(args.enable))
+
+    renderer = {"text": lambda d: render_text(d, header=chart_path),
+                "json": render_json,
+                "sarif": render_sarif}[args.format]
+    report = renderer(result.diagnostics)
+    if args.out is not None:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(report)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}: {len(result.diagnostics)} diagnostic(s), "
+              f"{result.errors} error(s)", file=out)
+    else:
+        print(report, file=out, end="" if report.endswith("\n") else "\n")
+    return 1 if result.has_errors else 0
+
+
 def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:], out)
     if argv and argv[0] == "trace":
         return run_trace(argv[1:], out)
     if argv and argv[0] == "stats":

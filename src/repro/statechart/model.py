@@ -135,6 +135,8 @@ class Transition:
     #: Index in chart declaration order; doubles as the Transition Address
     #: Table slot and as the conflict tie-breaker.
     index: int = -1
+    #: Source line in the textual chart, when parsed from one.
+    line: Optional[int] = None
 
     def names_consumed(self) -> frozenset:
         """Every event/condition name this transition is sensitive to."""
@@ -184,6 +186,8 @@ class State:
     transitions: List[Transition] = field(default_factory=list)
     #: For REF states: the name of the chart being referenced.
     ref: Optional[str] = None
+    #: Source line in the textual chart, when parsed from one.
+    line: Optional[int] = None
 
     @property
     def is_composite(self) -> bool:
@@ -222,6 +226,7 @@ class Chart:
         parent: Optional[str] = None,
         default: Optional[str] = None,
         ref: Optional[str] = None,
+        line: Optional[int] = None,
     ) -> State:
         """Add a state under *parent* (default: the root)."""
         if name in self.states:
@@ -229,7 +234,8 @@ class Chart:
         parent = parent if parent is not None else self.root
         if parent not in self.states:
             raise ChartError(f"unknown parent state {parent!r}")
-        state = State(name, kind, default=default, parent=parent, ref=ref)
+        state = State(name, kind, default=default, parent=parent, ref=ref,
+                      line=line)
         self.states[name] = state
         self.states[parent].children.append(name)
         return state
@@ -243,6 +249,7 @@ class Chart:
         action: Optional[str] = None,
         label: str = "",
         wcet_override: Optional[int] = None,
+        line: Optional[int] = None,
     ) -> Transition:
         for endpoint in (source, target):
             if endpoint not in self.states:
@@ -256,6 +263,7 @@ class Chart:
             label=label,
             wcet_override=wcet_override,
             index=len(self.transitions),
+            line=line,
         )
         self.states[source].transitions.append(transition)
         self.transitions.append(transition)

@@ -320,7 +320,8 @@ class _ChartParser:
                     self.state_decls[name].line)
             decl = self.state_decls[name]
             chart.add_state(name, decl.kind, parent=parent,
-                            default=decl.default, ref=decl.refers)
+                            default=decl.default, ref=decl.refers,
+                            line=decl.line)
             added[name] = True
             for child in decl.contains:
                 add(child, name)
@@ -346,7 +347,7 @@ class _ChartParser:
                     name, target,
                     trigger=label.trigger, guard=label.guard,
                     action=label.action, label=label_text,
-                    wcet_override=wcet)
+                    wcet_override=wcet, line=line)
         return chart
 
 

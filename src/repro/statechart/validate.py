@@ -13,56 +13,16 @@ from repro.statechart.model import Chart, ChartError, StateKind
 
 
 def chart_problems(chart: Chart) -> List[str]:
-    """Return a list of human-readable well-formedness violations."""
-    problems: List[str] = []
+    """Return a list of human-readable well-formedness violations.
 
-    declared = set(chart.events) | set(chart.conditions)
+    Thin wrapper over the diagnostic framework
+    (:func:`repro.analysis.chart_lint.wellformedness`) keeping the
+    historical list-of-strings API; the diagnostics carry stable codes
+    (PSC101..PSC110), locations and fix hints on top of these messages.
+    """
+    from repro.analysis.chart_lint import wellformedness
 
-    for state in chart.states.values():
-        if state.kind is StateKind.OR and state.children:
-            default = state.default or state.children[0]
-            if default not in state.children:
-                problems.append(
-                    f"OR-state {state.name!r}: default {default!r} is not a child")
-        if state.kind is StateKind.AND and len(state.children) < 2:
-            problems.append(
-                f"AND-state {state.name!r} has {len(state.children)} region(s); "
-                "needs at least 2")
-        if state.kind is StateKind.BASIC and state.children:
-            problems.append(
-                f"basic state {state.name!r} must not contain children")
-        if state.kind is StateKind.REF:
-            if state.ref is None:
-                problems.append(f"ref state {state.name!r} refers to no chart")
-            if state.children:
-                problems.append(
-                    f"ref state {state.name!r} must not contain children")
-
-    for transition in chart.transitions:
-        for name in sorted(transition.names_consumed()):
-            if name not in declared:
-                problems.append(
-                    f"transition {transition.describe()}: "
-                    f"undeclared event/condition {name!r}")
-        # AND states have no direct "current child" notion; transitions must
-        # target a state that can be entered by default completion, which any
-        # state can, so only unreachable endpoints matter:
-        if transition.target == chart.root:
-            problems.append(
-                f"transition {transition.describe()}: may not target the root")
-
-    for event in chart.events.values():
-        if event.period is not None and event.period <= 0:
-            problems.append(f"event {event.name!r}: period must be positive")
-
-    for port_name in {e.port for e in chart.events.values() if e.port}:
-        if port_name not in chart.ports:
-            problems.append(f"event port {port_name!r} is not declared")
-    for port_name in {c.port for c in chart.conditions.values() if c.port}:
-        if port_name not in chart.ports:
-            problems.append(f"condition port {port_name!r} is not declared")
-
-    return problems
+    return [diagnostic.message for diagnostic in wellformedness(chart)]
 
 
 def chart_warnings(chart: Chart) -> List[str]:
@@ -70,26 +30,12 @@ def chart_warnings(chart: Chart) -> List[str]:
 
     The paper's frontend (the Statechart Structural Analyzer) reports these
     rather than rejecting the chart — an unreachable state still synthesizes,
-    it just wastes SLA terms and CR bits.
+    it just wastes SLA terms and CR bits.  Wraps
+    :func:`repro.analysis.chart_lint.design_smells` (codes PSC150..PSC152).
     """
-    from repro.statechart.graph import reachable_states
+    from repro.analysis.chart_lint import design_smells
 
-    warnings: List[str] = []
-    reached = reachable_states(chart)
-    for state in chart.states.values():
-        if state.name not in reached:
-            warnings.append(f"state {state.name!r} is structurally unreachable")
-
-    used = set()
-    for transition in chart.transitions:
-        used |= transition.names_consumed()
-    for name in chart.events:
-        if name not in used:
-            warnings.append(f"event {name!r} triggers no transition")
-    for name in chart.conditions:
-        if name not in used:
-            warnings.append(f"condition {name!r} guards no transition")
-    return warnings
+    return [diagnostic.message for diagnostic in design_smells(chart)]
 
 
 def validate_chart(chart: Chart) -> None:

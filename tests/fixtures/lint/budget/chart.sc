@@ -1,0 +1,21 @@
+chart lint_budget;
+
+event FAST period 4;
+
+orstate Main {
+  contains S0, S1;
+  default S0;
+}
+basicstate S0 {
+  transition {
+    target S1;
+    label "FAST/Spin()";
+    wcet 1;
+  }
+}
+basicstate S1 {
+  transition {
+    target S0;
+    label "FAST/Spin()";
+  }
+}

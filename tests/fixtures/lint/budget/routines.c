@@ -1,0 +1,10 @@
+int:16 acc;
+
+void Spin() {
+  int:16 i;
+  i = 0;
+  @bound(10) while (i < 10) {
+    acc = acc + i;
+    i = i + 1;
+  }
+}

@@ -1,0 +1,35 @@
+chart lint_conflict;
+
+event GO period 1000;
+event HALT period 1000;
+
+orstate Main {
+  contains A, B, C;
+  default A;
+}
+basicstate A {
+  transition {
+    target B;
+    label "GO/Ping()";
+  }
+  transition {
+    target C;
+    label "GO/Ping()";
+  }
+}
+basicstate B {
+  transition {
+    target A;
+    label "GO";
+  }
+  transition {
+    target C;
+    label "HALT";
+  }
+}
+basicstate C {
+  transition {
+    target A;
+    label "GO";
+  }
+}

@@ -1,0 +1,5 @@
+int:16 pings;
+
+void Ping() {
+  pings = pings + 1;
+}

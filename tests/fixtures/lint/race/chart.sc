@@ -1,0 +1,28 @@
+chart lint_race;
+
+event TICK period 1000;
+event TOCK period 1000;
+
+andstate Par {
+  contains Left, Right;
+}
+orstate Left {
+  contains L0;
+  default L0;
+}
+basicstate L0 {
+  transition {
+    target L0;
+    label "TICK/IncLeft()";
+  }
+}
+orstate Right {
+  contains R0;
+  default R0;
+}
+basicstate R0 {
+  transition {
+    target R0;
+    label "TOCK/IncRight()";
+  }
+}

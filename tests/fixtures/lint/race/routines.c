@@ -1,0 +1,9 @@
+int:16 shared;
+
+void IncLeft() {
+  shared = shared + 1;
+}
+
+void IncRight() {
+  shared = shared + 2;
+}

@@ -1,0 +1,20 @@
+chart lint_truncate;
+
+event GO period 1000;
+
+orstate Main {
+  contains S0, S1;
+  default S0;
+}
+basicstate S0 {
+  transition {
+    target S1;
+    label "GO/Narrow()";
+  }
+}
+basicstate S1 {
+  transition {
+    target S0;
+    label "GO/Extra()";
+  }
+}

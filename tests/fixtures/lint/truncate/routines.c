@@ -1,0 +1,17 @@
+int:16 wide;
+int:8 narrow;
+
+void Narrow() {
+  narrow = wide;
+}
+
+void Extra() {
+  int:16 t;
+  int:16 u;
+  u = t + 1;
+  u = 5;
+  if (1 > 2) {
+    narrow = 0;
+  }
+  wide = u;
+}

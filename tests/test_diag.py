@@ -1,0 +1,135 @@
+"""Tests for the diagnostic framework core and the report emitters."""
+
+import json
+
+from repro.analysis import (
+    CODES,
+    Collector,
+    DEFAULT_SUPPRESSED,
+    Diagnostic,
+    Severity,
+    SourceLocation,
+    count_by_severity,
+    default_severity,
+    finalize,
+    known_code,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+
+def diag(code, message="m", file=None, line=None, severity=None, hint=""):
+    return Diagnostic(code=code,
+                      severity=severity or default_severity(code),
+                      message=message,
+                      location=SourceLocation(file=file, line=line),
+                      hint=hint)
+
+
+class TestFramework:
+    def test_every_code_is_banded_and_titled(self):
+        for code, info in CODES.items():
+            assert code.startswith("PSC") and len(code) == 6
+            assert info.title
+            assert isinstance(info.severity, Severity)
+
+    def test_known_code(self):
+        assert known_code("PSC203")
+        assert not known_code("PSC999")
+
+    def test_default_severity_fallback(self):
+        assert default_severity("PSC201") is Severity.ERROR
+        assert default_severity("PSC999") is Severity.WARNING
+
+    def test_collector_defaults_severity_from_registry(self):
+        out = Collector()
+        emitted = out.emit("PSC311", "dead store")
+        assert emitted.severity is Severity.WARNING
+        assert out.diagnostics == [emitted]
+
+    def test_format_includes_location_and_hint(self):
+        text = diag("PSC310", "boom", file="a.c", line=3,
+                    hint="init it").format()
+        assert text == "a.c:3: error PSC310: boom [hint: init it]"
+
+    def test_format_without_line(self):
+        assert diag("PSC151", "unused", file="a.sc").format() == \
+            "a.sc: warning PSC151: unused"
+
+
+class TestFinalize:
+    def test_sorts_by_file_line_code(self):
+        unsorted = [diag("PSC311", file="b.c", line=9),
+                    diag("PSC310", file="a.c", line=5),
+                    diag("PSC203", file="a.c", line=2)]
+        ordered = finalize(unsorted)
+        assert [d.code for d in ordered] == ["PSC203", "PSC310", "PSC311"]
+
+    def test_deterministic_for_equal_locations(self):
+        diagnostics = [diag("PSC311", message="zz"),
+                       diag("PSC311", message="aa")]
+        assert finalize(diagnostics) == finalize(list(reversed(diagnostics)))
+
+    def test_psc202_is_suppressed_by_default(self):
+        assert "PSC202" in DEFAULT_SUPPRESSED
+        assert finalize([diag("PSC202")]) == ()
+
+    def test_enable_wins_over_default_suppression(self):
+        kept = finalize([diag("PSC202")], enable=["PSC202"])
+        assert [d.code for d in kept] == ["PSC202"]
+
+    def test_suppress_adds_codes(self):
+        kept = finalize([diag("PSC203"), diag("PSC311")],
+                        suppress=["PSC203"])
+        assert [d.code for d in kept] == ["PSC311"]
+
+    def test_count_by_severity(self):
+        counts = count_by_severity([diag("PSC310"), diag("PSC311"),
+                                    diag("PSC403")])
+        assert counts == {"error": 1, "warning": 1, "note": 1}
+
+
+class TestEmitters:
+    def sample(self):
+        return finalize([
+            diag("PSC310", "read before assign", file="r.c", line=4,
+                 hint="init"),
+            diag("PSC203", "race on x", file="c.sc", line=12),
+            diag("PSC403", "no periods"),
+        ])
+
+    def test_text_has_summary_line(self):
+        text = render_text(self.sample(), header="demo")
+        assert text.splitlines()[0] == "demo"
+        assert text.splitlines()[-1] == "1 error(s), 1 warning(s), 1 note(s)"
+
+    def test_json_roundtrips_and_counts(self):
+        document = json.loads(render_json(self.sample()))
+        assert document["tool"] == "repro-lint"
+        assert document["counts"] == {"error": 1, "note": 1, "warning": 1}
+        codes = [d["code"] for d in document["diagnostics"]]
+        assert codes == ["PSC403", "PSC203", "PSC310"]
+
+    def test_json_is_byte_identical_across_runs(self):
+        assert render_json(self.sample()) == render_json(self.sample())
+
+    def test_sarif_shape(self):
+        sarif = json.loads(render_sarif(self.sample()))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert rule_ids == {"PSC203", "PSC310", "PSC403"}
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == \
+            ["PSC403", "PSC203", "PSC310"]
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels["PSC310"] == "error"
+        located = [r for r in results if r["ruleId"] == "PSC310"][0]
+        physical = located["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "r.c"
+        assert physical["region"]["startLine"] == 4
+
+    def test_sarif_is_byte_identical_across_runs(self):
+        assert render_sarif(self.sample()) == render_sarif(self.sample())

@@ -1,0 +1,124 @@
+"""End-to-end tests for the `repro lint` subcommand."""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import run
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "lint"
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def invoke(argv):
+    out = io.StringIO()
+    status = run(argv, out=out)
+    return status, out.getvalue()
+
+
+def lint_fixture(name, *extra):
+    base = FIXTURES / name
+    return invoke(["lint", str(base / "chart.sc"),
+                   str(base / "routines.c"), *extra])
+
+
+class TestFixtures:
+    def test_conflict_fixture_errors(self):
+        status, text = lint_fixture("conflict")
+        assert status == 1
+        assert "PSC201" in text
+        assert "1 error(s)" in text.splitlines()[-1]
+
+    def test_race_fixture_warns(self):
+        status, text = lint_fixture("race")
+        assert status == 0
+        assert "PSC203" in text
+        assert "shared" in text
+        assert "0 error(s)" in text.splitlines()[-1]
+
+    def test_truncate_fixture_reports_dataflow(self):
+        status, text = lint_fixture("truncate")
+        assert status == 1
+        for code in ("PSC310", "PSC311", "PSC312", "PSC313"):
+            assert code in text
+        # Preamble offset correction: lines refer to the user's file.
+        assert "routines.c:5" in text
+
+    def test_budget_fixture_reports_timing(self):
+        status, text = lint_fixture("budget")
+        assert status == 1
+        assert "PSC401" in text
+        assert "PSC402" in text
+
+    def test_suppress_removes_code(self):
+        status, text = lint_fixture("race", "--suppress", "PSC203")
+        assert status == 0
+        assert "PSC203" not in text
+
+    def test_enable_surfaces_default_suppressed_notes(self):
+        _, baseline = lint_fixture("conflict")
+        _, enabled = lint_fixture("conflict", "--enable", "PSC202")
+        assert "PSC202" not in baseline
+        assert "PSC202" in enabled
+
+
+class TestWorkloads:
+    def test_smd_matches_golden(self):
+        status, text = invoke(["lint", "--workload", "smd"])
+        assert status == 0
+        assert text == (GOLDEN / "lint_smd.txt").read_text()
+
+    def test_elevator_matches_golden(self):
+        status, text = invoke(["lint", "--workload", "elevator"])
+        assert status == 0
+        assert text == (GOLDEN / "lint_elevator.txt").read_text()
+
+    def test_output_is_deterministic(self):
+        _, first = invoke(["lint", "--workload", "smd", "--format", "sarif"])
+        _, second = invoke(["lint", "--workload", "smd", "--format", "sarif"])
+        assert first == second
+
+
+class TestFormats:
+    def test_json_format(self):
+        _, text = lint_fixture("race", "--format", "json")
+        document = json.loads(text)
+        assert document["tool"] == "repro-lint"
+        assert [d["code"] for d in document["diagnostics"]] == ["PSC203"]
+
+    def test_sarif_format(self):
+        _, text = lint_fixture("truncate", "--format", "sarif")
+        sarif = json.loads(text)
+        assert sarif["version"] == "2.1.0"
+        rule_ids = {r["ruleId"] for r in sarif["runs"][0]["results"]}
+        assert "PSC313" in rule_ids
+
+    def test_out_writes_file(self, tmp_path):
+        target = tmp_path / "report.sarif"
+        status, text = lint_fixture("race", "--format", "sarif",
+                                    "--out", str(target))
+        assert status == 0
+        assert json.loads(target.read_text())["version"] == "2.1.0"
+        assert "wrote" in text
+
+
+class TestErrors:
+    def test_unknown_suppress_code_exits_2(self):
+        status, text = lint_fixture("race", "--suppress", "PSC999")
+        assert status == 2
+        assert "PSC999" in text
+
+    def test_unparseable_chart_reports_psc100(self, tmp_path):
+        bad = tmp_path / "bad.sc"
+        bad.write_text("chart broken;\nbasicstate A { nonsense }\n")
+        routines = tmp_path / "r.c"
+        routines.write_text("int:16 g;\n")
+        status, text = invoke(["lint", str(bad), str(routines)])
+        assert status == 2
+        assert "PSC100" in text
+
+    def test_missing_arguments_error(self):
+        with pytest.raises(SystemExit):
+            invoke(["lint"])
