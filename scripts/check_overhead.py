@@ -1,22 +1,44 @@
 #!/usr/bin/env python
-"""Tracing-overhead guard for the closed-loop benchmark.
+"""Observability-overhead guard for the closed-loop benchmark.
 
 Runs the bench_closed_loop workload (the paper's final architecture against
-the fast-motor physics) with tracing *disabled* and compares it against the
-recorded baseline in ``scripts/overhead_baseline.json``:
+the fast-motor physics) in four legs, using the shared warmup + interleaved
+timing discipline of :mod:`repro.perf.timing`:
 
-* **determinism** (always checked): total reference-clock cycles,
-  configuration cycles and final motor positions must match the baseline
-  exactly — the observability hooks must not perturb the simulation;
-* **wall clock** (checked only when the environment fingerprint matches the
-  baseline's): the best-of-N run time must not regress more than
-  ``--threshold`` (default 5%) over the baseline.
+* **disabled** — no instrumentation at all;
+* **recorder** — flight recorder attached, tracing off (the always-on
+  production configuration);
+* **profiler** — routine-level :class:`~repro.obs.perfprof.PerfProfiler`
+  attached (the cheap hot-path attribution level);
+* **enabled** — tracer attached.
 
-It also measures the *flight-recorder-attached* (tracing off) run — the
-always-on production configuration — and **fails** when its overhead over
-disabled exceeds the threshold, and the tracing-*enabled* run, warning when
-it exceeds the same threshold (informational: the enabled path is allowed
-to cost something; the disabled and recorder paths are not).
+Checks, against ``scripts/overhead_baseline.json``:
+
+* **determinism** (always): total reference-clock cycles, configuration
+  cycles and final motor positions must match across all four legs and the
+  baseline exactly — observability must not perturb the simulation;
+* **leg overhead** (always): the recorder and profiler legs must stay
+  within ``--threshold`` (default 5%) of the disabled leg — a *hard*
+  failure.  Overhead is the median of per-round ratios
+  (:func:`repro.perf.timing.paired_overhead`): within a round the legs
+  run back-to-back so load drift cancels in the ratio.  When a budget
+  overshoots, the measurement is *extended* (another full set of rounds,
+  pooled with the first) up to ``--retries`` times before failing: the
+  cumulative median converges on the true overhead, so a noise burst
+  that swamps a few rounds washes out while a real regression only
+  firms up.  The tracer leg is advisory: it may cost something, a
+  warning is printed when it does;
+* **wall clock** (only when the environment fingerprint matches the
+  baseline's): the disabled leg's median-of-N must not regress more than
+  ``--wall-threshold`` over the recorded baseline median.  Absolute wall
+  time on a shared host drifts far more than back-to-back legs do, so
+  this check is a smoke alarm for gross regressions (default 15%), not
+  the fine-grained budget the paired legs enforce.  A host-speed
+  calibration — a fixed pure-Python spin loop
+  (:func:`repro.perf.timing.calibration_spin`) timed as a fifth leg of
+  the same interleaved rounds — can *excuse* a slow host (the smaller of
+  the raw and normalized ratios is used) but never convicts a run the
+  raw comparison would pass.
 
 Refresh the baseline after an intended simulator change::
 
@@ -25,16 +47,20 @@ Refresh the baseline after an intended simulator change::
 
 import argparse
 import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.flow import build_system
 from repro.isa import MD16_TEP
-from repro.obs import FlightRecorder, Tracer
+from repro.obs import FlightRecorder, PerfProfiler, Tracer
+from repro.perf import (
+    calibration_spin,
+    fingerprint,
+    measure_interleaved,
+    paired_overhead,
+)
 from repro.workloads import (
     MoveCommand,
     SMD_MUTUAL_EXCLUSIONS,
@@ -55,50 +81,19 @@ FAST_MOTORS = {
 COMMANDS = [MoveCommand(60, 45, 8), MoveCommand(25, 30, 4)]
 
 
-def fingerprint():
-    return {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "machine": platform.machine(),
-        "system": platform.system(),
-    }
-
-
 def build_final_system():
     arch = MD16_TEP.with_(n_teps=2, microcode_optimized=True,
                           mutual_exclusions=SMD_MUTUAL_EXCLUSIONS)
     return build_system(smd_chart(), SMD_ROUTINES, arch, specialize=True)
 
 
-def run_once(system, tracer=None, recorder=None):
+def run_once(system, tracer=None, recorder=None, profiler=None):
     loop = SmdClosedLoop(system, motor_specs=FAST_MOTORS, tracer=tracer)
     if recorder is not None:
         loop.machine.attach_recorder(recorder)
-    started = time.perf_counter()
-    report = loop.run(COMMANDS, max_configuration_cycles=40000)
-    elapsed = time.perf_counter() - started
-    return elapsed, report
-
-
-def measure_interleaved(system, rounds):
-    """Alternate disabled/recorder/enabled rounds so machine-load drift hits
-    all three measurements equally; returns their best times and reports.
-
-    The *recorder* leg runs with a flight recorder attached and tracing off
-    — the always-on production configuration, held to the same wall-clock
-    budget as fully uninstrumented."""
-    disabled, recorded, enabled = [], [], []
-    disabled_report = recorder_report = enabled_report = None
-    for _ in range(rounds):
-        elapsed, disabled_report = run_once(system)
-        disabled.append(elapsed)
-        elapsed, recorder_report = run_once(system,
-                                            recorder=FlightRecorder())
-        recorded.append(elapsed)
-        elapsed, enabled_report = run_once(system, Tracer())
-        enabled.append(elapsed)
-    return (min(disabled), min(recorded), min(enabled),
-            disabled_report, recorder_report, enabled_report)
+    if profiler is not None:
+        loop.machine.attach_profiler(profiler)
+    return loop.run(COMMANDS, max_configuration_cycles=40000)
 
 
 def determinism_record(report):
@@ -111,55 +106,102 @@ def determinism_record(report):
     }
 
 
+def measure(system, rounds):
+    """One full interleaved measurement: the four legs plus the
+    host-speed calibration spin riding the same rounds."""
+    print(f"timing disabled/recorder/profiler/enabled + calibration "
+          f"interleaved ({rounds} rounds each) ...")
+    legs = measure_interleaved({
+        "disabled": lambda: run_once(system),
+        "recorder": lambda: run_once(system, recorder=FlightRecorder()),
+        "profiler": lambda: run_once(
+            system, profiler=PerfProfiler(level="routine")),
+        "enabled": lambda: run_once(system, Tracer()),
+        "calibration": calibration_spin,
+    }, rounds=rounds, warmup=1)
+    disabled = legs["disabled"]
+    print(f"  disabled median {disabled.median_ns / 1e6:.1f} ms, "
+          f"{disabled.payload.total_cycles} cycles")
+    overheads = {}
+    for name in ("recorder", "profiler", "enabled"):
+        overheads[name] = paired_overhead(legs[name], disabled)
+        print(f"  {name:8s} median {legs[name].median_ns / 1e6:.1f} ms "
+              f"({overheads[name] * 100:+.1f}% vs disabled, paired)")
+    return legs, overheads
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="record the current run as the new baseline")
-    parser.add_argument("--rounds", type=int, default=5,
-                        help="timing rounds (best-of is compared)")
+    parser.add_argument("--rounds", type=int, default=10,
+                        help="timing rounds per leg (interleaved with a "
+                             "rotating schedule; a multiple of the five "
+                             "legs keeps the position balance exact)")
     parser.add_argument("--threshold", type=float, default=0.05,
-                        help="allowed wall-clock regression fraction")
+                        help="allowed paired-leg overhead fraction")
+    parser.add_argument("--wall-threshold", type=float, default=0.15,
+                        help="allowed absolute wall-clock regression over "
+                             "the baseline (a gross-regression smoke "
+                             "alarm: absolute time on a shared host is "
+                             "far noisier than the paired legs)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="re-measurements allowed before a busted leg "
+                             "budget becomes a failure")
     args = parser.parse_args(argv)
 
     print("building the final SMD architecture ...")
     system = build_final_system()
 
-    print(f"timing disabled/recorder/enabled interleaved ({args.rounds} "
-          "rounds each) ...")
-    run_once(system)  # warm caches before timing anything
-    (best, recorder_best, traced_best,
-     report, recorder_report, traced_report) = measure_interleaved(
-        system, args.rounds)
-    record = determinism_record(report)
-    print(f"  disabled best {best * 1e3:.1f} ms, "
-          f"{record['total_cycles']} cycles")
-    recorder_overhead = (recorder_best - best) / best if best else 0.0
-    print(f"  recorder best {recorder_best * 1e3:.1f} ms "
-          f"({recorder_overhead * 100:+.1f}% vs disabled)")
-    overhead = (traced_best - best) / best if best else 0.0
-    print(f"  enabled  best {traced_best * 1e3:.1f} ms "
-          f"({overhead * 100:+.1f}% vs disabled)")
+    # a busted hard budget extends the measurement rather than failing:
+    # the pooled median converges on the true overhead, so a noise burst
+    # washes out while a real regression only firms up
+    legs = None
+    for attempt in range(args.retries + 1):
+        fresh, overheads = measure(system, args.rounds)
+        if legs is None:
+            legs = fresh
+        else:
+            for name, timing in fresh.items():
+                legs[name].times_ns.extend(timing.times_ns)
+                legs[name].payload = timing.payload
+            overheads = {
+                name: paired_overhead(legs[name], legs["disabled"])
+                for name in ("recorder", "profiler", "enabled")}
+            print("  pooled   " + ", ".join(
+                f"{name} {overheads[name] * 100:+.1f}%"
+                for name in ("recorder", "profiler", "enabled")))
+        if all(overheads[name] <= args.threshold
+               for name in ("recorder", "profiler")):
+            break
+        if attempt < args.retries:
+            print("hard-budget overshoot; extending the measurement to "
+                  "wash out machine-load bursts ...")
 
-    if determinism_record(traced_report) != record:
-        print("FAIL: tracing-enabled run diverged from disabled run")
-        return 1
-    if determinism_record(recorder_report) != record:
-        print("FAIL: recorder-attached run diverged from disabled run")
-        return 1
-    if recorder_overhead > args.threshold:
-        # the flight recorder is always-on in production farms: unlike the
-        # tracer, its overhead budget is a hard failure, not advisory
-        print(f"FAIL: flight-recorder overhead {recorder_overhead * 100:.1f}%"
-              f" exceeds {args.threshold * 100:.0f}% budget")
-        return 1
-    if overhead > args.threshold:
-        print(f"warning: tracing-enabled overhead {overhead * 100:.1f}% "
-              f"exceeds {args.threshold * 100:.0f}% target")
+    disabled = legs["disabled"]
+    record = determinism_record(disabled.payload)
+    for name in ("recorder", "profiler", "enabled"):
+        if determinism_record(legs[name].payload) != record:
+            print(f"FAIL: {name} run diverged from disabled run")
+            return 1
+    # the flight recorder is always-on in production farms and the
+    # routine-level profiler is the attachable hot-path attribution: both
+    # overhead budgets are hard failures, the full tracer's is advisory
+    for name in ("recorder", "profiler"):
+        if overheads[name] > args.threshold:
+            print(f"FAIL: {name} overhead {overheads[name] * 100:.1f}% "
+                  f"exceeds {args.threshold * 100:.0f}% budget")
+            return 1
+    if overheads["enabled"] > args.threshold:
+        print(f"warning: tracing-enabled overhead "
+              f"{overheads['enabled'] * 100:.1f}% exceeds "
+              f"{args.threshold * 100:.0f}% target")
 
     if args.update or not BASELINE_PATH.exists():
         baseline = {
             "fingerprint": fingerprint(),
-            "wall_seconds_best": best,
+            "wall_seconds_median": disabled.median_seconds,
+            "calibration_ns": int(legs["calibration"].median_ns),
             "determinism": record,
             "rounds": args.rounds,
         }
@@ -184,17 +226,32 @@ def main(argv=None):
               "wall-clock comparison")
         return 0
 
-    allowed = baseline["wall_seconds_best"] * (1.0 + args.threshold)
-    ratio = best / baseline["wall_seconds_best"]
-    if best > allowed:
-        print(f"FAIL: tracing-disabled run regressed: {best * 1e3:.1f} ms "
-              f"vs baseline {baseline['wall_seconds_best'] * 1e3:.1f} ms "
-              f"({(ratio - 1) * 100:+.1f}%, allowed "
-              f"{args.threshold * 100:.0f}%)")
+    reference = baseline["wall_seconds_median"]
+    measured = disabled.median_seconds
+    baseline_cal = baseline.get("calibration_ns")
+    if baseline_cal:
+        # the calibration leg rode the same rounds, so a genuinely slow
+        # host shows up in it too — but a tight spin loop and an
+        # allocation-heavy workload don't scale identically under every
+        # kind of load, so normalization may only excuse, never convict
+        speed = legs["calibration"].median_ns / baseline_cal
+        normalized = disabled.median_seconds / speed
+        if normalized < measured:
+            measured = normalized
+            print(f"host-speed ratio {speed:.2f} vs baseline "
+                  f"(wall normalized {disabled.median_seconds * 1e3:.1f} "
+                  f"-> {measured * 1e3:.1f} ms)")
+    allowed = reference * (1.0 + args.wall_threshold)
+    ratio = measured / reference
+    if measured > allowed:
+        print(f"FAIL: tracing-disabled run regressed: "
+              f"{measured * 1e3:.1f} ms vs baseline "
+              f"{reference * 1e3:.1f} ms ({(ratio - 1) * 100:+.1f}%, "
+              f"allowed {args.wall_threshold * 100:.0f}%)")
         print("(if the change is intended, re-record with --update)")
         return 1
     print(f"wall clock: OK ({(ratio - 1) * 100:+.1f}% vs baseline, "
-          f"allowed {args.threshold * 100:.0f}%)")
+          f"allowed {args.wall_threshold * 100:.0f}%)")
     return 0
 
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Run the seeded perf-bench suite from a checkout.
+
+Thin wrapper over ``python -m repro bench`` that works without installing
+the package — it prepends ``src/`` to the path and forwards every argument::
+
+    python scripts/run_benches.py                       # write BENCH_6.json
+    python scripts/run_benches.py --compare             # guard vs baseline
+    python scripts/run_benches.py --update-baseline     # re-record baseline
+
+See ``python scripts/run_benches.py --help`` for the full option list and
+docs/OBSERVABILITY.md for the metric policy.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cli import run_bench  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(run_bench(sys.argv[1:]))

@@ -33,6 +33,12 @@ from repro.obs.flightrec import (
     write_forensics_bundle,
 )
 from repro.obs.flowprof import FlowProfile, RungProfile
+from repro.obs.perfprof import (
+    OPCODE_LEVEL,
+    ROUTINE_LEVEL,
+    STEP_PHASES,
+    PerfProfiler,
+)
 from repro.obs.metrics import (
     DEFAULT_CYCLE_BUCKETS,
     Counter,
@@ -46,8 +52,9 @@ from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
 __all__ = [
     "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FORENSICS_VERSION",
     "FarmSampler", "FlightRecorder", "FlowProfile", "Gauge",
-    "Histogram", "INSTANT", "MetricsRegistry", "RungProfile",
-    "ScopedRegistry", "SPAN",
+    "Histogram", "INSTANT", "MetricsRegistry", "OPCODE_LEVEL",
+    "PerfProfiler", "ROUTINE_LEVEL", "RungProfile",
+    "STEP_PHASES", "ScopedRegistry", "SPAN",
     "Tracer", "chrome_trace", "chrome_trace_events",
     "load_forensics_bundle", "merged_chrome_trace", "metrics_summary",
     "render_dashboard", "render_forensics", "sparkline", "trace_summary",

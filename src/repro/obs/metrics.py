@@ -109,33 +109,63 @@ class Histogram:
         return self.sum / self.count if self.count else None
 
     def quantile(self, q: float) -> Optional[int]:
-        """Upper bound of the bucket containing the q-quantile (or the exact
-        max for the overflow bucket).
+        """Upper bound of the bucket containing the q-quantile, clamped to
+        the exact observed ``max``.
 
         **Error bound:** the result *overestimates* the true q-quantile by
-        at most the width of the containing bucket — the true value lies in
-        ``(previous bound, returned bound]``.  With the default power-of-two
-        buckets that means the estimate is within 2x of the true quantile
-        (tight for values just above a bound).  Values beyond the last
-        bucket report the exact observed ``max``.  ``count``/``sum``/
-        ``min``/``max``/``mean`` are exact regardless of bucketing.
+        at most :meth:`quantile_error_bound` — the true value lies in
+        ``(previous bound, returned value]``.  With the default
+        power-of-two buckets that means the estimate is within 2x of the
+        true quantile (tight for values just above a bound).  The clamp
+        keeps degenerate distributions exact: a single-sample (or
+        constant) histogram reports its one value, never a bucket bound
+        above anything ever observed, and values beyond the last bucket
+        report the exact ``max``.  ``count``/``sum``/``min``/``max``/
+        ``mean`` are exact regardless of bucketing.
         """
         if not self.count:
             return None
+        if self.min == self.max:
+            return self.max  # single sample / constant: exact
         target = q * self.count
         running = 0
         for index, bound in enumerate(self.buckets):
             running += self.counts[index]
             if running >= target:
-                return bound
+                return min(bound, self.max)
         return self.max
 
-    def summary(self) -> Dict[str, Any]:
-        """The dashboard/summary digest: ``{count, mean, p50, p95, p99}``.
+    def quantile_error_bound(self, q: float) -> Optional[int]:
+        """Worst-case overestimate of :meth:`quantile` — the returned
+        value minus the largest value provably <= the true q-quantile
+        (the previous bucket bound, floored at the observed ``min``).
+        ``0`` means the reported quantile is exact.
+        """
+        if not self.count:
+            return None
+        estimate = self.quantile(q)
+        if self.min == self.max:
+            return 0
+        target = q * self.count
+        running = 0
+        previous = self.min
+        for index, bound in enumerate(self.buckets):
+            running += self.counts[index]
+            if running >= target:
+                return max(0, estimate - max(previous, self.min))
+            previous = bound
+        # overflow bucket: the exact max is reported, but the true
+        # quantile may sit anywhere above the last bound
+        return max(0, estimate - max(previous, self.min))
 
-        Percentiles carry :meth:`quantile`'s bucket-upper-bound error; mean
-        and count are exact.  All values are ``None`` when empty except
-        ``count``.
+    def summary(self) -> Dict[str, Any]:
+        """The dashboard/summary digest: ``{count, mean, p50, p95, p99,
+        quantile_error_bounds}``.
+
+        Percentiles carry :meth:`quantile`'s bucket-upper-bound error;
+        ``quantile_error_bounds`` states that error per percentile (``0``
+        = exact).  Mean and count are exact.  All values are ``None`` when
+        empty except ``count``.
         """
         return {
             "count": self.count,
@@ -143,6 +173,11 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "quantile_error_bounds": {
+                "p50": self.quantile_error_bound(0.50),
+                "p95": self.quantile_error_bound(0.95),
+                "p99": self.quantile_error_bound(0.99),
+            },
         }
 
 

@@ -1,0 +1,45 @@
+"""Performance measurement: seeded benches and the regression guard.
+
+The wall-clock layer of the observability stack::
+
+    from repro.perf import run_bench, compare_documents
+
+    document = run_bench(repeats=3)            # BENCH_6 document
+    report = compare_documents(document, baseline)
+    assert report.ok, report.render()
+
+:mod:`repro.perf.timing` holds the shared warmup + interleaved
+measurement discipline (``scripts/check_overhead.py`` reuses it),
+:mod:`repro.perf.bench` the pinned workloads and document format, and
+:mod:`repro.perf.compare` the per-metric comparison policy.
+"""
+
+from repro.perf.bench import (
+    BENCH_ID,
+    BENCH_SCHEMA_VERSION,
+    WORKLOAD_NAMES,
+    fingerprint,
+    run_bench,
+)
+from repro.perf.compare import (
+    DEFAULT_TOLERANCE,
+    ComparisonReport,
+    compare_documents,
+)
+from repro.perf.timing import (
+    LegTiming,
+    calibrate,
+    calibration_spin,
+    measure_interleaved,
+    median,
+    paired_overhead,
+    relative_overhead,
+)
+
+__all__ = [
+    "BENCH_ID", "BENCH_SCHEMA_VERSION", "ComparisonReport",
+    "DEFAULT_TOLERANCE", "LegTiming", "WORKLOAD_NAMES", "calibrate",
+    "calibration_spin", "compare_documents", "fingerprint",
+    "measure_interleaved", "median", "paired_overhead",
+    "relative_overhead", "run_bench",
+]

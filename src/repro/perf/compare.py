@@ -1,0 +1,164 @@
+"""Regression guard: diff a bench run against a recorded baseline.
+
+``repro bench --compare`` feeds two :mod:`repro.perf.bench` documents in
+here.  The comparison applies a per-metric policy:
+
+* **determinism** and **latency** are simulated state — compared *exactly*,
+  always.  Any difference is a behavioral change (fail), never noise.
+* **counts** (cycles, items) are likewise exact.
+* **wall / throughput** are host time — compared within a declared
+  tolerance, and only when both documents carry the same environment
+  fingerprint (CI's committed-baseline compare typically skips these; its
+  two-run stability compare exercises them).  When both documents carry a
+  ``calibration_ns`` host-speed yardstick (:func:`repro.perf.timing.
+  calibration_spin` timed in the same interleaved rounds as the
+  workloads), a candidate whose host ran its calibration *slower* has its
+  wall numbers deflated by the speed ratio first, so frequency scaling
+  and hypervisor CPU steal between the two runs don't read as
+  regressions.  The yardstick only ever excuses — a spin loop and a real
+  workload don't scale identically under every kind of load, so a
+  *faster* calibration never inflates the candidate.  A candidate slower
+  than ``baseline * (1 + tolerance)`` after normalization is a
+  regression; a faster one is noted but never fails.
+* **profile** is informational and never compared — wall shares shift with
+  host noise, and the exact parts (modeled cycles) are already covered by
+  the determinism records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: default allowed wall-clock slowdown fraction; an injected >=20% slowdown
+#: must fail, so the tolerance sits safely below that
+DEFAULT_TOLERANCE = 0.15
+
+#: wall metrics compared within tolerance (per workload); everything in
+#: ``determinism``/``latency``/``counts`` is compared exactly
+WALL_METRICS = (
+    ("wall", "median_ns"),
+    ("throughput", "ns_per_reference_cycle"),
+)
+
+
+class ComparisonReport:
+    """Outcome of one baseline comparison."""
+
+    def __init__(self, tolerance: float, wall_checked: bool) -> None:
+        self.tolerance = tolerance
+        #: wall metrics were comparable (fingerprints matched or forced)
+        self.wall_checked = wall_checked
+        #: human-readable per-check lines, in check order
+        self.lines: List[str] = []
+        #: failed checks (subset of ``lines``)
+        self.regressions: List[str] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def _note(self, line: str) -> None:
+        self.lines.append(f"  ok   {line}")
+
+    def _fail(self, line: str) -> None:
+        self.lines.append(f"  FAIL {line}")
+        self.regressions.append(line)
+
+    def render(self) -> str:
+        verdict = ("OK" if self.ok
+                   else f"{len(self.regressions)} regression(s)")
+        return "\n".join(self.lines + [f"comparison: {verdict}"])
+
+
+def _dig(document: Dict[str, Any], *path: str) -> Any:
+    value: Any = document
+    for key in path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def compare_documents(candidate: Dict[str, Any], baseline: Dict[str, Any],
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      check_wall: Optional[bool] = None
+                      ) -> ComparisonReport:
+    """Compare *candidate* against *baseline*; see the module policy.
+
+    *check_wall* forces the wall comparison on (``True``) or off
+    (``False``); the default gates it on matching fingerprints.
+    """
+    if check_wall is None:
+        check_wall = (candidate.get("fingerprint")
+                      == baseline.get("fingerprint"))
+    report = ComparisonReport(tolerance, check_wall)
+
+    if candidate.get("schema_version") != baseline.get("schema_version"):
+        report._fail(
+            f"schema_version: candidate "
+            f"{candidate.get('schema_version')} vs baseline "
+            f"{baseline.get('schema_version')} (re-record the baseline)")
+        return report
+
+    # host-speed normalization: speed > 1 means the candidate's host ran
+    # its calibration slower, so its raw wall numbers are deflated by the
+    # same factor before the tolerance check; clamped at 1.0 because the
+    # yardstick may only excuse a slow host, never convict a fast one
+    speed = 1.0
+    candidate_cal = candidate.get("calibration_ns")
+    baseline_cal = baseline.get("calibration_ns")
+    if check_wall and candidate_cal and baseline_cal:
+        speed = max(1.0, candidate_cal / baseline_cal)
+        if speed > 1.01:
+            report.lines.append(
+                f"  note wall normalized by host-speed ratio "
+                f"{speed:.2f} (calibration {candidate_cal} ns vs "
+                f"baseline {baseline_cal} ns)")
+
+    baseline_workloads = baseline.get("workloads", {})
+    candidate_workloads = candidate.get("workloads", {})
+    for name, base in sorted(baseline_workloads.items()):
+        mine = candidate_workloads.get(name)
+        if mine is None:
+            report._fail(f"{name}: workload missing from candidate")
+            continue
+        for section in ("determinism", "latency", "counts"):
+            if mine.get(section) == base.get(section):
+                report._note(f"{name}.{section}: exact match")
+            else:
+                report._fail(
+                    f"{name}.{section}: simulated results diverged "
+                    f"({_diff_hint(mine.get(section), base.get(section))})")
+        if not check_wall:
+            continue
+        for path in WALL_METRICS:
+            metric = ".".join(path)
+            base_value = _dig(base, *path)
+            mine_value = _dig(mine, *path)
+            if base_value is None or mine_value is None:
+                continue
+            mine_value = mine_value / speed
+            ratio = (mine_value / base_value) if base_value else 1.0
+            delta = f"{(ratio - 1) * 100:+.1f}%"
+            if mine_value > base_value * (1.0 + tolerance):
+                report._fail(
+                    f"{name}.{metric}: {mine_value:.0f} vs baseline "
+                    f"{base_value:.0f} ({delta}, allowed "
+                    f"+{tolerance * 100:.0f}%)")
+            else:
+                report._note(f"{name}.{metric}: {delta} vs baseline")
+    if not check_wall:
+        report.lines.append(
+            "  note wall/throughput skipped (environment fingerprint "
+            "differs from the baseline's)")
+    return report
+
+
+def _diff_hint(mine: Any, base: Any) -> str:
+    """The first differing key, for actionable failure lines."""
+    if isinstance(mine, dict) and isinstance(base, dict):
+        for key in sorted(set(mine) | set(base)):
+            if mine.get(key) != base.get(key):
+                return (f"first diff at {key!r}: {mine.get(key)!r} "
+                        f"vs {base.get(key)!r}")
+    return f"{mine!r} vs {base!r}"

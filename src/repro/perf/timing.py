@@ -1,0 +1,178 @@
+"""Shared wall-clock measurement: warmup + interleaved repetitions.
+
+One timing discipline for every harness that compares wall-clock numbers
+(``repro bench`` and ``scripts/check_overhead.py``): run every leg a few
+*untimed* warmup repetitions first (bytecode caches, allocator pools and
+branch predictors all settle), then time the legs **interleaved** —
+round-robin, one timed repetition per leg per round — so machine-load
+drift hits every leg equally instead of biasing whichever happened to run
+last.
+
+Two estimators come out of a measurement, used for different jobs:
+
+* ``best_ns`` — the minimum over rounds.  The low-noise estimator for
+  comparing legs measured *in the same process moments apart* (overhead
+  checks): noise only ever adds time, so the minimum is the closest
+  observable to the true cost.
+* ``median_ns`` — the median over rounds.  The robust estimator recorded
+  in baselines that *later* runs compare against: a single lucky minimum
+  makes a baseline unbeatable, the median does not.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+
+def median(values: List[float]) -> float:
+    """The sample median (mean of the middle pair for even counts)."""
+    if not values:
+        raise ValueError("median of an empty sample")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+class LegTiming:
+    """Per-leg result of :func:`measure_interleaved`."""
+
+    __slots__ = ("name", "times_ns", "payload")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: one wall-clock sample per timed round, in nanoseconds
+        self.times_ns: List[int] = []
+        #: the leg callable's return value from the last timed round
+        self.payload: Any = None
+
+    @property
+    def best_ns(self) -> int:
+        return min(self.times_ns)
+
+    @property
+    def median_ns(self) -> float:
+        return median(self.times_ns)
+
+    @property
+    def best_seconds(self) -> float:
+        return self.best_ns / 1e9
+
+    @property
+    def median_seconds(self) -> float:
+        return self.median_ns / 1e9
+
+
+def measure_interleaved(legs: Mapping[str, Callable[[], Any]],
+                        rounds: int = 3, warmup: int = 1,
+                        clock: Optional[Callable[[], int]] = None
+                        ) -> Dict[str, LegTiming]:
+    """Time *legs* (ordered name → zero-argument callable) interleaved.
+
+    Every leg first runs ``warmup`` untimed repetitions (in leg order),
+    then ``rounds`` timed rounds run the legs round-robin, with the
+    schedule *rotated* one position every round (a Latin-square scheme:
+    over ``len(legs)`` rounds each leg occupies each position exactly
+    once).  That cancels position-dependent load bias — both monotonic
+    drift (which taxes late positions) and periodic bursts whose period
+    aliases against the round time (which tax one fixed position; the
+    ABBA scheme this replaces only handled the monotonic case).  Each
+    callable's return value is kept as the leg's ``payload`` (last round
+    wins) so callers can check determinism of what the timed runs
+    computed.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    now = clock if clock is not None else time.perf_counter_ns
+    results = {name: LegTiming(name) for name in legs}
+    for _ in range(warmup):
+        for run in legs.values():
+            run()
+    order: List[Tuple[str, Callable[[], Any]]] = list(legs.items())
+    for round_index in range(rounds):
+        shift = round_index % len(order)
+        schedule = order[shift:] + order[:shift]
+        for name, run in schedule:
+            # drain garbage left by the previous leg outside the timed
+            # window: collections trigger on allocation thresholds, so
+            # without this they land *systematically* in whichever leg
+            # the accumulated pattern taxes, biasing the paired ratios
+            gc.collect()
+            started = now()
+            payload = run()
+            elapsed = now() - started
+            timing = results[name]
+            timing.times_ns.append(elapsed)
+            timing.payload = payload
+    return results
+
+
+#: iterations of the calibration spin loop (~100 ms of pure Python on a
+#: contemporary core — long enough to average over scheduler jitter,
+#: short enough to run before every measurement)
+CALIBRATION_LOOPS = 2_000_000
+
+
+def calibration_spin() -> int:
+    """One repetition of the fixed calibration spin loop.
+
+    A host-speed yardstick for *absolute* wall-clock baselines: the
+    simulator is pure Python, so dividing a measured wall time by the
+    calibration cancels host-speed drift (frequency scaling, hypervisor
+    CPU steal) to first order.  Crucially the spin loop must be timed as
+    an extra **leg of the same interleaved measurement** — host noise
+    comes in bursts of seconds, so a probe taken once before (or after)
+    the measurement samples a different speed than the legs experienced.
+    Baselines record their own calibration median; a comparison then
+    checks ``wall / calibration`` against ``baseline_wall /
+    baseline_calibration`` instead of raw nanoseconds.
+    """
+    total = 0
+    for i in range(CALIBRATION_LOOPS):
+        total += i
+    return total
+
+
+def calibrate(rounds: int = 3,
+              clock: Optional[Callable[[], int]] = None) -> int:
+    """Median-of-*rounds* wall time of :func:`calibration_spin`, in ns.
+
+    A standalone probe for contexts without an interleaved measurement
+    to ride; prefer adding ``calibration_spin`` as a leg of
+    :func:`measure_interleaved` wherever one exists.
+    """
+    now = clock if clock is not None else time.perf_counter_ns
+    times: List[int] = []
+    for _ in range(rounds):
+        started = now()
+        calibration_spin()
+        times.append(now() - started)
+    return int(median(times))
+
+
+def relative_overhead(candidate_ns: float, reference_ns: float) -> float:
+    """``(candidate - reference) / reference`` guarded against zero."""
+    if not reference_ns:
+        return 0.0
+    return (candidate_ns - reference_ns) / reference_ns
+
+
+def paired_overhead(candidate: LegTiming, reference: LegTiming) -> float:
+    """Overhead of *candidate* over *reference* as the **median of
+    per-round ratios** — the noise-robust leg-vs-leg estimator.
+
+    Within one interleaved round the two legs run back-to-back, so
+    machine-load drift (CPU steal, frequency scaling) is mostly shared by
+    the pair and cancels in the ratio; the median then discards rounds
+    where a spike hit one leg but not the other.  Comparing best-of-k
+    instead pits the *luckiest* run of each leg against the other, which
+    on a noisy host swings by many percent in either direction.
+    """
+    ratios = [c / r for c, r in zip(candidate.times_ns, reference.times_ns)
+              if r]
+    if not ratios:
+        return 0.0
+    return median(ratios) - 1.0

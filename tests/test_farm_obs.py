@@ -347,19 +347,43 @@ class TestHistogramSummary:
 
     def test_quantile_is_a_bucket_upper_bound(self):
         histogram = Histogram("latency", buckets=(1, 2, 4, 8))
-        for value in (3, 3, 3):
+        for value in (3, 3, 5):
             histogram.observe(value)
         # 3 falls in the (2, 4] bucket: the quantile reports the bucket's
-        # upper bound — an overestimate bounded by the bucket width
+        # upper bound — an overestimate bounded by the bucket width,
+        # surfaced per percentile in the summary digest
         assert histogram.quantile(0.5) == 4
+        assert histogram.quantile_error_bound(0.5) == 4 - 3
+        assert (histogram.summary()["quantile_error_bounds"]["p50"]
+                == histogram.quantile_error_bound(0.5))
         # the overflow bucket is exact: it reports the observed maximum
         histogram.observe(100)
         assert histogram.quantile(1.0) == 100
+
+    def test_constant_distribution_is_exact(self):
+        # a single-sample (or constant) histogram must report its one
+        # value, never a bucket bound above anything ever observed
+        histogram = Histogram("latency", buckets=(1, 2, 4, 8))
+        histogram.observe(3)
+        assert histogram.quantile(0.5) == 3
+        assert histogram.quantile_error_bound(0.5) == 0
+        histogram.observe(3)
+        assert histogram.quantile(0.99) == 3
+
+    def test_quantile_clamped_to_observed_max(self):
+        # mixed distribution whose top bucket bound exceeds the max: the
+        # reported quantile never overshoots the exact observed maximum
+        histogram = Histogram("latency", buckets=(1, 2, 4, 8))
+        for value in (1, 1, 1, 5):
+            histogram.observe(value)
+        assert histogram.quantile(0.99) == 5  # bucket bound 8, max 5
+        assert histogram.quantile_error_bound(0.99) == 5 - 4
 
     def test_empty_summary(self):
         summary = Histogram("latency").summary()
         assert summary["count"] == 0
         assert summary["p50"] is None
+        assert summary["quantile_error_bounds"]["p50"] is None
 
 
 # ---------------------------------------------------------------------------

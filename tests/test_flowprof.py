@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.obs.flowprof` — the per-rung improvement
+profile.
+
+``tests/test_obs.py`` only touches the FlowProfile export surface in
+passing; these tests pin down the accounting itself with an injected fake
+clock: wall attribution per rung, delta computation against the previous
+rung (including the first-rung zero conventions and events that appear
+mid-ladder), the JSON shape, and the table rows.
+"""
+
+from repro.obs.flowprof import FlowProfile, RungProfile
+
+
+class FakeClock:
+    """Deterministic ``perf_counter`` stand-in: returns scripted values."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def __call__(self):
+        return self.values.pop(0)
+
+
+def make_profile(clock_values):
+    profile = FlowProfile()
+    profile._clock = FakeClock(clock_values)
+    return profile
+
+
+class TestRungAccounting:
+    def test_wall_seconds_from_begin_to_record(self):
+        profile = make_profile([10.0, 10.25])
+        started = profile.begin()
+        rung = profile.record("baseline", "first build", started,
+                              area_clbs=100, n_violations=2,
+                              critical_paths={"GO": 7})
+        assert started == 10.0
+        assert rung.wall_seconds == 0.25
+
+    def test_first_rung_deltas_are_zero(self):
+        profile = make_profile([0.0, 1.0])
+        rung = profile.record("baseline", "", profile.begin(),
+                              area_clbs=100, n_violations=1,
+                              critical_paths={"GO": 7, "BACK": 5})
+        assert rung.area_delta == 0
+        assert rung.critical_path_deltas == {"GO": 0, "BACK": 0}
+
+    def test_deltas_against_previous_rung(self):
+        profile = make_profile([0.0, 1.0, 1.0, 3.5])
+        profile.record("baseline", "", profile.begin(),
+                       area_clbs=100, n_violations=2,
+                       critical_paths={"GO": 7, "BACK": 5})
+        rung = profile.record("split", "split the chart", profile.begin(),
+                              area_clbs=88, n_violations=0,
+                              critical_paths={"GO": 4, "BACK": 6})
+        assert rung.area_delta == -12
+        assert rung.critical_path_deltas == {"GO": -3, "BACK": +1}
+        assert rung.wall_seconds == 2.5
+
+    def test_event_new_at_this_rung_gets_zero_delta(self):
+        # an event with no previous-path entry compares against itself
+        profile = make_profile([0.0, 1.0, 1.0, 2.0])
+        profile.record("baseline", "", profile.begin(),
+                       area_clbs=100, n_violations=0,
+                       critical_paths={"GO": 7})
+        rung = profile.record("retarget", "", profile.begin(),
+                              area_clbs=100, n_violations=0,
+                              critical_paths={"GO": 7, "NEW": 9})
+        assert rung.critical_path_deltas == {"GO": 0, "NEW": 0}
+
+    def test_record_copies_the_paths_mapping(self):
+        profile = make_profile([0.0, 1.0])
+        paths = {"GO": 7}
+        rung = profile.record("baseline", "", profile.begin(),
+                              area_clbs=100, n_violations=0,
+                              critical_paths=paths)
+        paths["GO"] = 99
+        assert rung.critical_paths == {"GO": 7}
+
+    def test_record_returns_and_appends_the_same_profile(self):
+        profile = make_profile([0.0, 1.0])
+        rung = profile.record("baseline", "", profile.begin(),
+                              area_clbs=1, n_violations=0,
+                              critical_paths={})
+        assert isinstance(rung, RungProfile)
+        assert profile.rungs == [rung]
+
+
+class TestReadback:
+    def ladder(self):
+        profile = make_profile([0.0, 0.5, 0.5, 0.75])
+        profile.record("baseline", "first build", profile.begin(),
+                       area_clbs=100, n_violations=2,
+                       critical_paths={"GO": 7})
+        profile.record("split", "split the chart", profile.begin(),
+                       area_clbs=90, n_violations=0,
+                       critical_paths={"GO": 5})
+        return profile
+
+    def test_total_wall_seconds_sums_rungs(self):
+        assert self.ladder().total_wall_seconds == 0.75
+
+    def test_to_json_shape_and_rounding(self):
+        profile = make_profile([0.0, 0.1234567891])
+        profile.record("baseline", "first build", profile.begin(),
+                       area_clbs=100, n_violations=2,
+                       critical_paths={"GO": 7})
+        document = profile.to_json()
+        assert document["total_wall_seconds"] == 0.123457  # 6 dp
+        (rung,) = document["rungs"]
+        assert rung == {
+            "rung": "baseline",
+            "description": "first build",
+            "wall_seconds": 0.123457,
+            "area_clbs": 100,
+            "n_violations": 2,
+            "critical_paths": {"GO": 7},
+            "area_delta": 0,
+            "critical_path_deltas": {"GO": 0},
+        }
+
+    def test_rows_blank_delta_on_first_rung_only(self):
+        rows = self.ladder().rows()
+        assert rows == [
+            ("baseline", 100, "", 2, "500.0"),
+            ("split", 90, "-10", 0, "250.0"),
+        ]
+
+    def test_empty_profile(self):
+        profile = FlowProfile()
+        assert profile.total_wall_seconds == 0
+        assert profile.to_json() == {"total_wall_seconds": 0, "rungs": []}
+        assert profile.rows() == []

@@ -1,0 +1,335 @@
+"""Tests for :mod:`repro.obs.perfprof` — the hot-path profiler.
+
+The load-bearing property mirrors the tracer's: an attached profiler is a
+pure observer (identical ``MachineStep`` streams, cycle counts and
+architectural state), and detached it costs a single ``is None`` guard.
+Attribution arithmetic is pinned with an injected fake clock so the
+assertions are deterministic.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.action.check import Externals
+from repro.isa import CodeGenerator, MD16_TEP, NameMaps, prepare_program
+from repro.obs import (
+    OPCODE_LEVEL,
+    PerfProfiler,
+    ROUTINE_LEVEL,
+    STEP_PHASES,
+    Tracer,
+    chrome_trace,
+)
+from repro.obs.export import SELF_PROFILE_PID
+from repro.pscp import PscpMachine, SLA_OVERHEAD_CYCLES
+from repro.statechart import ChartBuilder
+
+
+def build_machine(chart, source, arch=MD16_TEP, **kwargs):
+    externals = Externals.from_chart(chart)
+    checked = prepare_program(source, arch, externals)
+    maps = NameMaps.from_chart(chart)
+    compiled = CodeGenerator(checked, arch, maps=maps).compile()
+    params = {f.name: [p.name for p in f.params]
+              for f in checked.program.functions}
+    return PscpMachine(chart, compiled, param_names=params, **kwargs)
+
+
+def pingpong_chart():
+    b = ChartBuilder("pingpong")
+    b.event("GO", period=500).event("BACK")
+    b.condition("FLAG")
+    with b.or_state("Top", default="A"):
+        b.basic("A").transition("B", label="GO/Work()")
+        b.basic("B").transition("A", label="BACK/SetTrue(FLAG)")
+    return b.build()
+
+
+PINGPONG_ROUTINES = """
+int:16 total;
+void Work() { total = total + 3; }
+"""
+
+STIMULUS = [{"GO"}, {"BACK"}, set(), {"GO"}, {"BACK"}, {"GO"}]
+
+
+def step_fingerprint(step):
+    return (tuple(t.index for t in step.fired), step.configuration,
+            step.cycle_length, step.start_time, step.end_time,
+            step.events_sampled, step.events_raised)
+
+
+def fake_clock(step_ns=7):
+    """Monotonic integer-nanosecond clock advancing *step_ns* per read."""
+    counter = itertools.count(0, step_ns)
+    return lambda: next(counter)
+
+
+class TestParity:
+    @pytest.mark.parametrize("level", [ROUTINE_LEVEL, OPCODE_LEVEL])
+    def test_identical_steps_with_profiler_attached(self, level):
+        chart = pingpong_chart()
+        plain = build_machine(chart, PINGPONG_ROUTINES)
+        profiled = build_machine(chart, PINGPONG_ROUTINES)
+        profiled.attach_profiler(PerfProfiler(level=level))
+
+        plain_steps = plain.run(STIMULUS)
+        profiled_steps = profiled.run(STIMULUS)
+
+        assert ([step_fingerprint(s) for s in plain_steps]
+                == [step_fingerprint(s) for s in profiled_steps])
+        assert plain.time == profiled.time
+        assert plain.read_global("total") == profiled.read_global("total")
+        assert plain.cr.conditions == profiled.cr.conditions
+
+    def test_disabled_by_default(self):
+        machine = build_machine(pingpong_chart(), PINGPONG_ROUTINES)
+        assert machine.profiler is None
+        assert machine.executor.profiler is None
+        machine.step({"GO"})  # must not touch any profiler
+
+    def test_detach_restores_disabled_path(self):
+        machine = build_machine(pingpong_chart(), PINGPONG_ROUTINES)
+        profiler = PerfProfiler(clock=fake_clock())
+        machine.attach_profiler(profiler)
+        machine.step({"GO"})
+        assert profiler.steps == 1
+        machine.attach_profiler(None)
+        assert machine.profiler is None
+        assert machine.executor.profiler is None
+        machine.step({"BACK"})
+        assert profiler.steps == 1  # nothing recorded after detach
+
+
+class TestConstruction:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown profiler level"):
+            PerfProfiler(level="line")
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError, match="phase_stride"):
+            PerfProfiler(phase_stride=0)
+
+    def test_level_defaults(self):
+        routine = PerfProfiler()
+        opcode = PerfProfiler(level=OPCODE_LEVEL)
+        assert (routine.level, routine.per_opcode) == (ROUTINE_LEVEL, False)
+        assert routine.phase_stride == 8
+        assert (opcode.level, opcode.per_opcode) == (OPCODE_LEVEL, True)
+        assert opcode.phase_stride == 1  # opcode level samples every step
+
+
+class TestPhaseArithmetic:
+    def test_phase_sample_splits_the_timestamps(self):
+        profiler = PerfProfiler()
+        profiler.steps = 1
+        profiler.phase_sample(100, 110, 125, 165, 170, 200)
+        walls = {name: stat.wall_ns for name, stat in profiler.phases.items()}
+        assert walls == {"sample-events": 10, "sla-eval": 15,
+                         "dispatch": 40, "state-update": 5, "finalize": 30}
+        assert profiler.sampled_steps == 1
+        assert all(stat.samples == 1 for stat in profiler.phases.values())
+
+    def test_phase_report_scales_sampled_wall(self):
+        profiler = PerfProfiler(phase_stride=3)
+        profiler.steps = 6  # two of six steps sampled
+        profiler.phase_sample(0, 10, 20, 30, 40, 50)
+        profiler.phase_sample(0, 10, 20, 30, 40, 50)
+        assert profiler.sampled_steps == 2
+        assert profiler.phase_scale == 3.0
+        report = profiler.phase_report()
+        assert [row[0] for row in report] == list(STEP_PHASES)
+        # raw 20ns per phase, scaled x3; steps column is the exact count
+        assert all(row[1] == 6 and row[2] == 60 for row in report)
+        assert profiler.wall_ns == 5 * 60
+
+    def test_phase_scale_exact_at_stride_one(self):
+        profiler = PerfProfiler(phase_stride=1)
+        profiler.steps = 2
+        profiler.phase_sample(0, 1, 2, 3, 4, 5)
+        profiler.phase_sample(0, 1, 2, 3, 4, 5)
+        assert profiler.phase_scale == 1.0
+
+    def test_phase_scale_zero_before_any_sample(self):
+        assert PerfProfiler().phase_scale == 0.0
+        assert PerfProfiler().wall_ns == 0
+
+
+class TestFrameStack:
+    def test_call_ret_separates_self_from_cumulative(self):
+        profiler = PerfProfiler(level=OPCODE_LEVEL)
+        frames = []
+        profiler.open_frame(frames, "caller")
+        frames[-1][1] += 100  # caller self time before the call
+        profiler.open_frame(frames, "callee")
+        frames[-1][1] += 40
+        profiler.close_frame(frames)
+        frames[-1][1] += 10  # caller self time after the call
+        profiler.close_frame(frames)
+        caller = profiler.routines["caller"]
+        callee = profiler.routines["callee"]
+        assert (callee.self_ns, callee.cum_ns) == (40, 40)
+        assert (caller.self_ns, caller.cum_ns) == (110, 150)
+
+    def test_note_run_accumulates(self):
+        profiler = PerfProfiler()
+        profiler.note_run("__t0", 25, 9, 4)
+        profiler.note_run("__t0", 15, 9, 4)
+        stat = profiler.routines["__t0"]
+        assert (stat.calls, stat.self_ns, stat.cum_ns) == (2, 40, 40)
+        assert (stat.cycles, stat.instructions) == (18, 8)
+
+    def test_note_opcode_accumulates(self):
+        profiler = PerfProfiler(level=OPCODE_LEVEL)
+        profiler.note_opcode("ADD", 2, 11)
+        profiler.note_opcode("ADD", 2, 9)
+        stat = profiler.opcodes["ADD"]
+        assert (stat.calls, stat.wall_ns, stat.modeled_cycles) == (2, 20, 4)
+
+
+class TestMachineAttribution:
+    def run_profiled(self, level=ROUTINE_LEVEL, phase_stride=None):
+        machine = build_machine(pingpong_chart(), PINGPONG_ROUTINES)
+        profiler = PerfProfiler(level=level, clock=fake_clock(),
+                                phase_stride=phase_stride)
+        machine.attach_profiler(profiler)
+        machine.run(STIMULUS)
+        return machine, profiler
+
+    def test_steps_and_modeled_cycles_are_exact(self):
+        machine, profiler = self.run_profiled()
+        assert profiler.steps == machine.cycle_count == len(STIMULUS)
+        # every reference-clock cycle is charged to exactly one of the two
+        # modeled phases: SLA overhead or the dispatch makespan
+        assert profiler.sla_cycles + profiler.dispatch_cycles == machine.time
+        assert profiler.sla_cycles == len(STIMULUS) * SLA_OVERHEAD_CYCLES
+
+    def test_stride_sampling_counts(self):
+        _machine, profiler = self.run_profiled(phase_stride=4)
+        assert profiler.steps == 6
+        assert profiler.sampled_steps == 1  # step 4 only
+        assert profiler.phase_scale == 6.0
+        _machine, exact = self.run_profiled(phase_stride=1)
+        assert exact.sampled_steps == exact.steps == 6
+        # sampled wall is a positive scaled estimate in both cases
+        assert profiler.wall_ns > 0
+        assert exact.wall_ns > 0
+
+    def test_routine_attribution_with_pretty_names(self):
+        _machine, profiler = self.run_profiled()
+        assert profiler.routines  # dispatched entry stubs landed
+        assert all(name.startswith("__t") for name in profiler.routines)
+        calls = sum(stat.calls for stat in profiler.routines.values())
+        assert calls == 5  # five of six stimulus steps fire a transition
+        assert all(stat.cycles > 0 and stat.instructions > 0
+                   for stat in profiler.routines.values())
+        document = json.loads(json.dumps(profiler.to_json()))
+        names = [row["routine"] for row in document["routines"]]
+        # attach_profiler bound pretty names: "__t0" renders as "t0 <action>"
+        assert names and all(name.startswith("t") and " " in name
+                             for name in names)
+
+    def test_opcode_attribution(self):
+        _machine, profiler = self.run_profiled(level=OPCODE_LEVEL)
+        assert profiler.opcodes
+        assert sum(stat.calls for stat in profiler.opcodes.values()) > 0
+        assert sum(stat.modeled_cycles
+                   for stat in profiler.opcodes.values()) > 0
+        # modeled opcode cycles are exact: they sum to the cycles the
+        # executor charged across all dispatched routines
+        assert (sum(stat.modeled_cycles
+                    for stat in profiler.opcodes.values())
+                == sum(stat.cycles for stat in profiler.routines.values()))
+
+    def test_reset_forgets_everything_but_bindings(self):
+        _machine, profiler = self.run_profiled()
+        labels = dict(profiler.label_names)
+        assert labels
+        profiler.reset()
+        assert profiler.steps == profiler.sampled_steps == 0
+        assert profiler.sla_cycles == profiler.dispatch_cycles == 0
+        assert not profiler.routines and not profiler.opcodes
+        assert all(stat.samples == 0 and stat.wall_ns == 0
+                   for stat in profiler.phases.values())
+        assert profiler.label_names == labels
+
+
+class TestRendering:
+    def profiled(self, level=OPCODE_LEVEL):
+        machine = build_machine(pingpong_chart(), PINGPONG_ROUTINES)
+        profiler = PerfProfiler(level=level, clock=fake_clock())
+        machine.attach_profiler(profiler)
+        machine.run(STIMULUS)
+        return machine, profiler
+
+    def test_to_json_shape(self):
+        _machine, profiler = self.profiled()
+        document = profiler.to_json(top=3)
+        assert document["level"] == OPCODE_LEVEL
+        assert document["steps"] == 6
+        assert document["phase_stride"] == 1
+        assert document["sampled_steps"] == 6
+        assert [row["phase"] for row in document["phases"]] \
+            == list(STEP_PHASES)
+        assert len(document["routines"]) <= 3
+        assert len(document["opcodes"]) <= 3
+        # routines sorted by cumulative wall, opcodes by wall
+        cums = [row["cum_ns"] for row in document["routines"]]
+        assert cums == sorted(cums, reverse=True)
+        walls = [row["wall_ns"] for row in document["opcodes"]]
+        assert walls == sorted(walls, reverse=True)
+        json.dumps(document)  # JSON-ready
+
+    def test_hotspot_table_mentions_the_three_axes(self):
+        _machine, profiler = self.profiled()
+        table = profiler.hotspot_table(top=4)
+        assert "Step phases (6 configuration cycles (exact))" in table
+        assert "Hottest routines" in table
+        assert "Hottest opcodes" in table
+
+    def test_hotspot_table_reports_sampling(self):
+        _machine, profiler = self.profiled(level=ROUTINE_LEVEL)
+        assert "(wall sampled 1/8)" in profiler.hotspot_table()
+
+    def test_chrome_trace_merges_self_profile_process(self):
+        chart = pingpong_chart()
+        machine = build_machine(chart, PINGPONG_ROUTINES)
+        tracer = Tracer()
+        profiler = PerfProfiler(level=OPCODE_LEVEL, clock=fake_clock())
+        machine.attach_tracer(tracer)
+        machine.attach_profiler(profiler)
+        machine.run(STIMULUS)
+        machine.flush_trace()
+
+        merged = chrome_trace(tracer, profile=profiler)
+        self_events = [e for e in merged["traceEvents"]
+                       if e["pid"] == SELF_PROFILE_PID]
+        assert self_events
+        names = {e["args"].get("name") for e in self_events
+                 if e["ph"] == "M"}
+        assert f"self-profile ({OPCODE_LEVEL})" in names
+        assert {"step phases", "routines (cumulative)",
+                "opcodes (self)"} <= names
+        assert merged["otherData"]["self_profile"]["steps"] == 6
+        # without a profile the export is byte-identical to the historical
+        # shape: no self-profile process, no otherData key
+        plain = chrome_trace(tracer)
+        assert not [e for e in plain["traceEvents"]
+                    if e["pid"] == SELF_PROFILE_PID]
+        assert "self_profile" not in plain["otherData"]
+
+    def test_chrome_spans_tile_each_track(self):
+        _machine, profiler = self.profiled()
+        events = profiler.chrome_trace_events(SELF_PROFILE_PID, top=5)
+        by_track = {}
+        for event in events:
+            if event["ph"] == "X":
+                by_track.setdefault(event["tid"], []).append(event)
+        assert by_track
+        for spans in by_track.values():
+            cursor = 0.0
+            for span in spans:  # laid end to end
+                assert span["ts"] == pytest.approx(cursor)
+                cursor += span["dur"]
