@@ -442,6 +442,21 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
         "breakers and restart-from-snapshot")
     parser.add_argument("--workers", type=_positive_int, default=2,
                         help="machine instances in the farm (default: 2)")
+    parser.add_argument("--processes", type=_positive_int, default=None,
+                        metavar="N",
+                        help="distributed mode: shard the farm across N "
+                             "worker OS processes (framed-message "
+                             "transport, failover, delta-encoded "
+                             "checkpoints); --chaos then SIGKILLs worker "
+                             "processes at seeded ticks")
+    parser.add_argument("--standby", action="store_true",
+                        help="distributed mode: pair every shard with a "
+                             "hot standby that replays one checkpoint "
+                             "behind, so a killed primary is promoted "
+                             "over, not respawned")
+    parser.add_argument("--kills", type=_positive_int, default=2,
+                        help="process kills in the seeded chaos plan "
+                             "under --processes --chaos (default: 2)")
     parser.add_argument("--items", type=_positive_int, default=200,
                         help="work items in the stream (default: 200)")
     parser.add_argument("--seed", type=int, default=1,
@@ -516,6 +531,9 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
     chart = parse_chart(chart_text)
     system = _build_for_simulation(chart, routine_text, args)
 
+    if args.processes is not None:
+        return _run_serve_distributed(args, chart, system, out)
+
     injector_factory = None
     if args.chaos:
         import random
@@ -577,7 +595,8 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
     if args.trace is not None:
         write_merged_chrome_trace(supervisor.machine_tracers(), args.trace,
                                   supervisor_events=report.timeline,
-                                  metrics=metrics)
+                                  metrics=metrics,
+                                  dropped_events=report.timeline_dropped)
     if args.samples is not None:
         if args.samples.endswith(".csv"):
             sampler.write_csv(args.samples)
@@ -614,6 +633,94 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
               file=out)
     if args.samples is not None:
         print(f"wrote {args.samples}: {len(sampler)} sample(s)", file=out)
+    if violations:
+        for problem in violations:
+            print(f"conservation violation: {problem}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+def _run_serve_distributed(args, chart, system, out) -> int:
+    """``repro serve --processes N``: the multi-process sharded farm.
+
+    Output is deliberately deterministic for a fixed seed (canonical key
+    order, no wall-clock fields), so CI can ``cmp`` two runs byte for
+    byte.
+    """
+    from repro.fault.model import generate_kill_plan
+    from repro.obs import ShardAggregator, write_merged_chrome_trace
+    from repro.resil import RestartPolicy, generate_event_stream
+    from repro.resil.shardfarm import ShardConfig, ShardFarmError, \
+        ShardSupervisor
+
+    kill_plan = []
+    if args.chaos:
+        # land the kills while the stream is still flowing
+        active_ticks = max(4, args.items // max(1, args.arrivals_per_tick))
+        kill_plan = generate_kill_plan(
+            args.processes, args.kills, seed=args.seed,
+            max_tick=max(4, active_ticks // 2),
+            standby_fraction=0.25 if args.standby else 0.0)
+    aggregator = ShardAggregator()
+    config = ShardConfig(
+        queue_capacity=args.queue_capacity,
+        shed_enabled=not args.no_shed,
+        batch=args.batch,
+        checkpoint_every=args.checkpoint_every,
+        sample_every=args.sample_every)
+    policy = RestartPolicy(
+        max_restarts=args.max_restarts,
+        checkpoint_every=args.checkpoint_every,
+        # seeded jitter desynchronizes simultaneous respawns without
+        # costing two-run determinism
+        jitter_ticks=2, jitter_seed=args.seed)
+    supervisor = ShardSupervisor(
+        system, n_shards=args.processes, config=config, policy=policy,
+        standby=args.standby, kill_plan=kill_plan, aggregator=aggregator)
+    stream = generate_event_stream(system.chart.events, args.items,
+                                   seed=args.seed)
+    try:
+        report = supervisor.run(stream,
+                                arrivals_per_tick=args.arrivals_per_tick)
+    except ShardFarmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    violations = report.conservation() + aggregator.conservation()
+
+    if args.trace is not None:
+        # no per-machine tracers cross the process boundary; the merged
+        # trace carries the supervisor track (kills, promotions,
+        # respawns, sheds) alone
+        write_merged_chrome_trace({}, args.trace,
+                                  supervisor_events=report.timeline,
+                                  dropped_events=report.timeline_dropped)
+    if args.samples is not None:
+        aggregator.write_json(args.samples)
+
+    if args.json:
+        json.dump({
+            "chart": chart.name,
+            "architecture": system.arch.describe(),
+            "farm": report.to_json(),
+            "samples": aggregator.to_json(),
+        }, out, indent=2, sort_keys=True)
+        print(file=out)
+        return 1 if violations else 0
+    print(f"chart {chart.name!r} on {system.arch.describe()}: "
+          f"{args.processes} shard process(es)"
+          + (" + hot standbys" if args.standby else "")
+          + f", {args.items} item(s), seed {args.seed}"
+          + (f", chaos on ({len(kill_plan)} kill(s) planned)"
+             if args.chaos else ""), file=out)
+    print(file=out)
+    print(report.render(), file=out)
+    if args.trace is not None:
+        print(f"wrote {args.trace}: supervisor track "
+              f"({len(report.timeline)} instant(s)"
+              + (f", {report.timeline_dropped} aged out of the ring"
+                 if report.timeline_dropped else "") + ")", file=out)
+    if args.samples is not None:
+        print(f"wrote {args.samples}: {len(aggregator)} sample(s)",
+              file=out)
     if violations:
         for problem in violations:
             print(f"conservation violation: {problem}", file=sys.stderr)

@@ -100,6 +100,83 @@ class Fault:
         return text
 
 
+#: a farm-level fault: SIGKILL a worker process mid-dispatch.  This is
+#: deliberately NOT in :data:`ALL_FAULT_KINDS` — it is injected by the
+#: :class:`~repro.resil.shardfarm.ShardSupervisor`, not by the machine's
+#: :class:`~repro.fault.injector.FaultInjector`, because a process death
+#: is not observable from inside the machine it kills.
+PROCESS_KILL = "process-kill"
+
+KILL_TARGET_PRIMARY = "primary"
+KILL_TARGET_STANDBY = "standby"
+
+
+@dataclass(frozen=True)
+class ProcessKill:
+    """One seeded process kill in a distributed-farm chaos plan.
+
+    ``tick`` is the supervisor tick at which the kill fires; ``shard``
+    names the victim shard; ``target`` picks the primary or its standby.
+    For a primary the kill rides the tick's dispatch: the worker SIGKILLs
+    *itself* after processing ``after_items`` items — a real, uncatchable
+    death at a deterministic stream position, so two same-seed runs die at
+    identical points and produce byte-identical ledgers.
+    """
+
+    tick: int
+    shard: int
+    target: str = KILL_TARGET_PRIMARY
+    after_items: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick < 1:
+            raise FaultError(f"kill tick must be >= 1, got {self.tick}")
+        if self.shard < 0:
+            raise FaultError(f"kill shard must be >= 0, got {self.shard}")
+        if self.target not in (KILL_TARGET_PRIMARY, KILL_TARGET_STANDBY):
+            raise FaultError(f"unknown kill target {self.target!r}")
+        if self.after_items < 0:
+            raise FaultError(
+                f"after_items must be >= 0, got {self.after_items}")
+
+    def describe(self) -> str:
+        return (f"{PROCESS_KILL}@tick{self.tick} shard={self.shard} "
+                f"target={self.target} after={self.after_items}")
+
+
+def generate_kill_plan(n_shards: int, n_kills: int, seed: int = 1,
+                       max_tick: int = 40, max_after_items: int = 2,
+                       standby_fraction: float = 0.0
+                       ) -> List["ProcessKill"]:
+    """A seeded chaos plan of :class:`ProcessKill` events.
+
+    Deterministic for identical arguments; at most one kill per
+    (tick, shard) so two kills never race for the same dispatch.
+    """
+    import random
+
+    if n_shards < 1:
+        raise FaultError("a kill plan needs >= 1 shard")
+    rng = random.Random(seed)
+    kills: List[ProcessKill] = []
+    used = set()
+    attempts = 0
+    while len(kills) < n_kills and attempts < n_kills * 20:
+        attempts += 1
+        tick = rng.randrange(2, max(3, max_tick + 1))
+        shard = rng.randrange(n_shards)
+        if (tick, shard) in used:
+            continue
+        used.add((tick, shard))
+        target = (KILL_TARGET_STANDBY
+                  if rng.random() < standby_fraction
+                  else KILL_TARGET_PRIMARY)
+        kills.append(ProcessKill(
+            tick=tick, shard=shard, target=target,
+            after_items=rng.randrange(max_after_items + 1)))
+    return sorted(kills, key=lambda k: (k.tick, k.shard))
+
+
 @dataclass(frozen=True)
 class InjectedFault:
     """One fault that actually bit, as logged by the injector."""

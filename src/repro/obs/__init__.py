@@ -24,7 +24,8 @@ from repro.obs.export import (
     write_chrome_trace,
     write_merged_chrome_trace,
 )
-from repro.obs.farm import FarmSampler, render_dashboard, sparkline
+from repro.obs.farm import FarmSampler, ShardAggregator, render_dashboard, \
+    sparkline
 from repro.obs.flightrec import (
     FORENSICS_VERSION,
     FlightRecorder,
@@ -51,7 +52,8 @@ from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
 
 __all__ = [
     "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FORENSICS_VERSION",
-    "FarmSampler", "FlightRecorder", "FlowProfile", "Gauge",
+    "FarmSampler",
+    "ShardAggregator", "FlightRecorder", "FlowProfile", "Gauge",
     "Histogram", "INSTANT", "MetricsRegistry", "OPCODE_LEVEL",
     "PerfProfiler", "ROUTINE_LEVEL", "RungProfile",
     "STEP_PHASES", "ScopedRegistry", "SPAN",

@@ -128,8 +128,8 @@ def write_chrome_trace(tracer: Tracer, destination: Union[str, IO[str]],
 def merged_chrome_trace(tracers: Mapping[str, Tracer],
                         supervisor_events: Optional[
                             Iterable[Dict[str, Any]]] = None,
-                        metrics: Optional[MetricsRegistry] = None
-                        ) -> Dict[str, Any]:
+                        metrics: Optional[MetricsRegistry] = None,
+                        dropped_events: int = 0) -> Dict[str, Any]:
     """One trace document for a whole farm.
 
     *tracers* maps machine names (``worker0``, ...) to their tracers; each
@@ -139,6 +139,11 @@ def merged_chrome_trace(tracers: Mapping[str, Tracer],
     as recorded on :attr:`~repro.resil.supervisor.FarmLedger.timeline` —
     land as instants on a dedicated pid-1 "farm supervisor" track (one
     supervisor tick maps to one microsecond, like one machine cycle does).
+
+    The supervisor timeline is a bounded ring; when events aged out, pass
+    the ledger's ``timeline_dropped`` as *dropped_events* — the trace then
+    carries the truncation honestly (metadata plus a leading instant)
+    instead of silently presenting a partial timeline as complete.
     """
     events: List[Dict[str, Any]] = [
         {"ph": "M", "name": "process_name", "pid": TRACE_PID, "tid": 0,
@@ -158,6 +163,14 @@ def merged_chrome_trace(tracers: Mapping[str, Tracer],
             record["args"] = args
         events.append(record)
     metadata: Dict[str, Any] = {"machines": {}}
+    if dropped_events:
+        metadata["supervisor_timeline_dropped"] = dropped_events
+        events.append({
+            "ph": "i", "name": "timeline-truncated", "pid": TRACE_PID,
+            "tid": 0, "ts": 0, "s": "t",
+            "args": {"dropped": dropped_events,
+                     "detail": f"{dropped_events} oldest supervisor "
+                               f"event(s) aged out of the ring"}})
     for index, (name, tracer) in enumerate(tracers.items()):
         pid = FIRST_MACHINE_PID + index
         events.extend(chrome_trace_events(
@@ -179,10 +192,11 @@ def write_merged_chrome_trace(tracers: Mapping[str, Tracer],
                               destination: Union[str, IO[str]],
                               supervisor_events: Optional[
                                   Iterable[Dict[str, Any]]] = None,
-                              metrics: Optional[MetricsRegistry] = None
-                              ) -> None:
+                              metrics: Optional[MetricsRegistry] = None,
+                              dropped_events: int = 0) -> None:
     """Serialize :func:`merged_chrome_trace` to a path or file object."""
-    document = merged_chrome_trace(tracers, supervisor_events, metrics)
+    document = merged_chrome_trace(tracers, supervisor_events, metrics,
+                                   dropped_events=dropped_events)
     if hasattr(destination, "write"):
         json.dump(document, destination)
     else:

@@ -166,6 +166,82 @@ class FarmSampler:
                 json.dump(self.to_json(), handle, indent=2)
 
 
+class ShardAggregator:
+    """The distributed farm's time series: per-shard rows merged under the
+    global ledger counters.
+
+    The :class:`~repro.resil.shardfarm.ShardSupervisor` cannot reach into
+    its workers' memory the way the in-process :class:`FarmSampler` does —
+    shards live in other OS processes and report through their dispatch
+    replies.  The supervisor therefore feeds this aggregator what it
+    *knows*: its own conservation counters plus the last-reported row per
+    shard.  Every sample still carries both distributed conservation
+    identities (``submitted = accepted + rejected + in-dispatch`` and
+    ``accepted = processed + shed + queued``), so the no-silent-loss
+    ledger is assertable at every sampled tick even while a worker
+    process is dead or mid-failover.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("sample limit must be >= 1")
+        self.limit = limit
+        self.samples: List[Dict[str, Any]] = []
+        self.dropped = 0
+
+    def on_tick(self, tick: int, counters: Dict[str, int],
+                shards: Dict[str, Dict[str, Any]]) -> None:
+        sample = dict(counters)
+        sample["tick"] = tick
+        sample["shards"] = {name: dict(row)
+                            for name, row in sorted(shards.items())}
+        self.samples.append(sample)
+        if self.limit is not None and len(self.samples) > self.limit:
+            del self.samples[0]
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def series(self, field: str) -> List[Any]:
+        return [sample[field] for sample in self.samples]
+
+    def shard_series(self, name: str, field: str) -> List[Any]:
+        return [sample["shards"][name][field]
+                for sample in self.samples if name in sample["shards"]]
+
+    def conservation(self) -> List[str]:
+        """Distributed ledger-identity violations across every sample."""
+        problems: List[str] = []
+        for sample in self.samples:
+            if sample["submitted"] != (sample["accepted"]
+                                       + sample["rejected"]
+                                       + sample["in_dispatch"]):
+                problems.append(
+                    f"tick {sample['tick']}: submitted "
+                    f"{sample['submitted']} != accepted "
+                    f"{sample['accepted']} + rejected "
+                    f"{sample['rejected']} + in-dispatch "
+                    f"{sample['in_dispatch']}")
+            if sample["accepted"] != (sample["processed"] + sample["shed"]
+                                      + sample["queued"]):
+                problems.append(
+                    f"tick {sample['tick']}: accepted {sample['accepted']} "
+                    f"!= processed {sample['processed']} + shed "
+                    f"{sample['shed']} + queued {sample['queued']}")
+        return problems
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"dropped": self.dropped, "samples": self.samples}
+
+    def write_json(self, destination: Union[str, IO[str]]) -> None:
+        if hasattr(destination, "write"):
+            json.dump(self.to_json(), destination, indent=2)
+        else:
+            with open(destination, "w") as handle:
+                json.dump(self.to_json(), handle, indent=2)
+
+
 # ---------------------------------------------------------------------------
 # the text dashboard
 # ---------------------------------------------------------------------------

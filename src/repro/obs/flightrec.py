@@ -224,17 +224,41 @@ def _digest(entry) -> Dict[str, Any]:
 
 def write_forensics_bundle(bundle: Dict[str, Any],
                            destination: Union[str, IO[str]]) -> None:
-    """Serialize a bundle to a path or file object (canonical key order)."""
+    """Serialize a bundle to a path or file object (canonical key order).
+
+    Path writes are **atomic** (temp file + ``os.replace``): a process
+    killed mid-dump leaves either the previous bundle or none, never a
+    torn JSON file.
+    """
     if hasattr(destination, "write"):
         json.dump(bundle, destination, indent=2, sort_keys=True)
-    else:
-        with open(destination, "w") as handle:
+        return
+    import os
+
+    tmp = f"{destination}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
             json.dump(bundle, handle, indent=2, sort_keys=True)
+        os.replace(tmp, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_forensics_bundle(path: str) -> Dict[str, Any]:
     with open(path) as handle:
-        bundle = json.load(handle)
+        try:
+            bundle = json.load(handle)
+        except json.JSONDecodeError as exc:
+            # a torn or truncated file gets an attributed error, not a
+            # bare JSONDecodeError the caller cannot act on
+            raise ValueError(
+                f"forensics bundle {path!r} is truncated or corrupt "
+                f"(not valid JSON at line {exc.lineno} column {exc.colno}): "
+                f"{exc.msg}") from None
     version = bundle.get("version") if isinstance(bundle, dict) else None
     if version != FORENSICS_VERSION:
         raise ValueError(

@@ -2,21 +2,38 @@
 
 ``snapshot``
     Versioned, deterministic, JSON-serializable capture of a machine's
-    complete architectural state, with byte-identical round-trip restore.
+    complete architectural state, with byte-identical round-trip restore
+    and atomic snapshot-file IO.
 ``queue``
     Bounded admission queues with backpressure, priority load shedding,
     and per-worker circuit breakers.
 ``supervisor``
     A farm of N supervised machines over a shared event stream with
     restart-from-snapshot and conservation-checked accounting.
+``transport``
+    Length-prefixed JSON frames between farm processes: per-request
+    timeouts, seeded-backoff retries, heartbeat probes.
+``delta``
+    Delta-encoded incremental snapshots against the last full
+    :class:`MachineSnapshot`, with compaction and byte-identical
+    reconstruction.
+``standby``
+    Hot-standby replicas replaying the stream one checkpoint behind, so
+    escalation becomes promotion.
+``shardfarm``
+    The distributed farm: a :class:`ShardSupervisor` over N worker
+    *processes* with failover, respawn and process-kill chaos, keeping
+    the conservation ledger global.
 """
 
 from repro.resil.snapshot import (
     SNAPSHOT_VERSION,
     MachineSnapshot,
     SnapshotError,
+    read_snapshot,
     restore_machine,
     snapshot_machine,
+    write_snapshot,
 )
 from repro.resil.queue import (
     Admission,
@@ -32,6 +49,32 @@ from repro.resil.supervisor import (
     Supervisor,
     generate_event_stream,
 )
+from repro.resil.transport import (
+    Channel,
+    FrameTooLarge,
+    RetryPolicy,
+    TransportClosed,
+    TransportError,
+    TransportTimeout,
+    channel_pair,
+    encode_frame,
+    probe,
+)
+from repro.resil.delta import (
+    DELTA_VERSION,
+    DeltaChain,
+    DeltaSnapshot,
+    apply_delta,
+    diff_snapshots,
+    snapshot_fingerprint,
+)
+from repro.resil.standby import StandbyLog, StandbyReplica
+from repro.resil.shardfarm import (
+    ShardConfig,
+    ShardFarmError,
+    ShardFarmReport,
+    ShardSupervisor,
+)
 
 __all__ = [
     "SNAPSHOT_VERSION",
@@ -39,6 +82,8 @@ __all__ = [
     "SnapshotError",
     "snapshot_machine",
     "restore_machine",
+    "write_snapshot",
+    "read_snapshot",
     "WorkItem",
     "Admission",
     "BoundedQueue",
@@ -49,4 +94,25 @@ __all__ = [
     "MachineWorker",
     "Supervisor",
     "generate_event_stream",
+    "Channel",
+    "RetryPolicy",
+    "TransportError",
+    "TransportClosed",
+    "TransportTimeout",
+    "FrameTooLarge",
+    "channel_pair",
+    "encode_frame",
+    "probe",
+    "DELTA_VERSION",
+    "DeltaSnapshot",
+    "DeltaChain",
+    "diff_snapshots",
+    "apply_delta",
+    "snapshot_fingerprint",
+    "StandbyLog",
+    "StandbyReplica",
+    "ShardConfig",
+    "ShardFarmError",
+    "ShardFarmReport",
+    "ShardSupervisor",
 ]

@@ -1,0 +1,1048 @@
+"""A distributed farm: the supervisor sharded across OS processes.
+
+The paper scales by adding TEPs inside one PSCP; the ROADMAP's next rung
+shards the whole supervised farm across **worker processes**, ConPro-style
+— isolated sequential workers exchanging typed frames over channels
+(:mod:`repro.resil.transport`), with one :class:`ShardSupervisor` owning
+the stream, the routing and the global conservation ledger
+(Harel-style inter-object coordination in exactly one place).
+
+Topology and failure story
+--------------------------
+
+* ``N`` **shards**, each a forked primary process wrapping the familiar
+  worker loop — a :class:`~repro.resil.queue.BoundedQueue`, a machine
+  with a guard, and checkpoint-every-K items encoded through a
+  :class:`~repro.resil.delta.DeltaChain` (full snapshot first, cheap
+  deltas after, compaction when deltas stop paying);
+* work routes by **shard key** (``seq % N``); a dead or backing-off
+  shard's traffic **reroutes** to the next live shard (counted and
+  visible in the report), and when nothing is live the item is rejected
+  with a reason — degraded, attributed, never hung;
+* the supervisor detects a dead worker by the **EOF** its kill leaves on
+  the channel and a hung worker by **missed heartbeats** (bounded
+  per-request timeouts; ``miss_threshold`` misses and the process is
+  SIGKILLed and handled as dead);
+* recovery is **promotion** when the shard has a hot standby
+  (:mod:`repro.resil.standby`): the standby drains its delta log and
+  takes over on its own socket — no rewind.  Without a standby the
+  supervisor **respawns** the primary from the last checkpoint it
+  reconstructed from the delta stream (bounded restarts with
+  seeded-jitter backoff), and past the restart budget the shard fails
+  permanently: queued work is shed ``shard-lost``, in-dispatch work is
+  rejected ``shard-lost``, every item attributed;
+* **chaos** is a seeded :class:`~repro.fault.model.ProcessKill` plan:
+  at the planned tick the dispatch carries ``kill_after=j`` and the
+  worker SIGKILLs *itself* mid-dispatch after processing ``j`` items —
+  a real uncatchable death at a deterministic stream position, so two
+  runs with the same seed produce byte-identical per-shard ledgers.
+
+Everything the supervisor counts lands in the same conservation-checked
+:class:`~repro.resil.supervisor.FarmLedger` the single-process farm uses:
+``submitted = accepted + rejected + in-dispatch`` and ``accepted =
+processed + shed + queued`` hold at every sample and at the end.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.resil.delta import (
+    DeltaChain,
+    DeltaSnapshot,
+    apply_delta,
+    snapshot_fingerprint,
+)
+from repro.resil.queue import (
+    BoundedQueue,
+    REJECT_QUEUE_FULL,
+    REJECT_WORKER_FAILED,
+    SHED_OVERLOAD,
+    WorkItem,
+)
+from repro.resil.snapshot import MachineSnapshot, snapshot_machine, \
+    restore_machine
+from repro.resil.supervisor import FarmLedger, RestartPolicy
+from repro.resil.transport import (
+    Channel,
+    DEFAULT_MAX_FRAME,
+    TransportClosed,
+    TransportError,
+    TransportTimeout,
+    channel_pair,
+)
+
+#: shard lifecycle states (the worker-process analogues of the
+#: single-process worker's RUNNING/BACKOFF/FAILED)
+RUNNING = "running"
+BACKOFF = "backoff"
+FAILED = "failed"
+
+#: attribution reasons specific to the distributed farm
+SHED_SHARD_LOST = "shard-lost"
+SHED_RESPAWN_OVERFLOW = "respawn-overflow"
+SHED_MACHINE_ESCALATION = "machine-escalation"
+
+
+class ShardFarmError(Exception):
+    """Raised for unusable farm configurations."""
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs shared by the supervisor and every worker process."""
+
+    queue_capacity: int = 16
+    shed_enabled: bool = True
+    batch: int = 2
+    checkpoint_every: int = 8
+    compact_ratio: float = 0.5
+    max_deltas: int = 16
+    max_frame: int = DEFAULT_MAX_FRAME
+    request_timeout: float = 30.0
+    start_timeout: float = 60.0
+    miss_threshold: int = 3
+    guard_retries: int = 1
+    sample_every: int = 5
+
+
+def encode_item(item: WorkItem) -> Dict[str, Any]:
+    return {"seq": item.seq, "events": list(item.events),
+            "priority": item.priority}
+
+
+def decode_item(doc: Dict[str, Any]) -> WorkItem:
+    return WorkItem(doc["seq"], tuple(doc["events"]),
+                    doc.get("priority", 0))
+
+
+# ---------------------------------------------------------------------------
+# process side: the worker core and serve loop
+# ---------------------------------------------------------------------------
+
+class WorkerCore:
+    """One shard's machine, queue and checkpoint chain (process side)."""
+
+    def __init__(self, system, config: ShardConfig, machine=None,
+                 snapshot_doc: Optional[Dict[str, Any]] = None,
+                 processed: int = 0) -> None:
+        from repro.fault.guard import MachineGuard
+
+        self.system = system
+        self.config = config
+        if machine is not None:
+            self.machine = machine
+        else:
+            self.machine = system.make_machine()
+            self.machine.attach_guard(MachineGuard(
+                max_retries=config.guard_retries,
+                escalate_unrecoverable=True))
+            if snapshot_doc is not None:
+                restore_machine(self.machine,
+                                MachineSnapshot.from_json(snapshot_doc),
+                                restore_attachments=False)
+        self.queue = BoundedQueue(config.queue_capacity,
+                                  shed_enabled=config.shed_enabled)
+        self.chain = DeltaChain(compact_ratio=config.compact_ratio,
+                                max_deltas=config.max_deltas)
+        self.processed = processed
+        self.restarts = 0
+        self.escalations: List[str] = []
+        self._since_checkpoint = 0
+
+    # -- checkpointing -----------------------------------------------------
+    def _checkpoint(self) -> Dict[str, Any]:
+        snapshot = snapshot_machine(self.machine,
+                                    include_attachments=False)
+        kind, doc = self.chain.record(snapshot)
+        self._since_checkpoint = 0
+        return {"kind": kind, "doc": doc, "processed": self.processed,
+                "cycle": snapshot.cycle_count}
+
+    def initial_checkpoint(self) -> Dict[str, Any]:
+        """The anchor checkpoint shipped in the ``ready`` handshake."""
+        return self._checkpoint()
+
+    def prime_chain(self) -> None:
+        """Seed the chain with the current state without emitting (the
+        promoted standby already shipped its full in the promote reply)."""
+        self.chain.record(snapshot_machine(self.machine,
+                                           include_attachments=False))
+
+    # -- dispatch ----------------------------------------------------------
+    def on_dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.fault.guard import MachineEscalation
+        from repro.pscp.machine import MachineError
+
+        accepted: List[int] = []
+        rejected: List[List[Any]] = []
+        shed: List[List[Any]] = []
+        for doc in message.get("items", ()):
+            item = decode_item(doc)
+            admission = self.queue.offer(item)
+            if admission.accepted:
+                accepted.append(item.seq)
+                if admission.shed is not None:
+                    shed.append([admission.shed.seq, SHED_OVERLOAD])
+            else:
+                rejected.append([item.seq,
+                                 admission.reason or REJECT_QUEUE_FULL])
+
+        kill_after = message.get("kill_after")
+        processed: List[int] = []
+        checkpoints: List[Dict[str, Any]] = []
+        for _ in range(message.get("batch", self.config.batch)):
+            if kill_after is not None and kill_after <= 0:
+                os.kill(os.getpid(), signal.SIGKILL)
+            item = self.queue.pop()
+            if item is None:
+                break
+            try:
+                self.machine.step(item.events)
+            except (MachineEscalation, MachineError) as exc:
+                # rewind to the last full checkpoint, attribute the item;
+                # the machine continues from known-good state
+                self.escalations.append(str(exc))
+                shed.append([item.seq, SHED_MACHINE_ESCALATION])
+                if self.chain.last_full is not None:
+                    restore_machine(self.machine, self.chain.last_full,
+                                    restore_attachments=False)
+                    if self.machine.guard is not None:
+                        self.machine.guard.reset_transient()
+                    self.restarts += 1
+                continue
+            self.processed += 1
+            processed.append(item.seq)
+            if kill_after is not None:
+                kill_after -= 1
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.config.checkpoint_every:
+                checkpoints.append(self._checkpoint())
+        if kill_after is not None:
+            # the seeded kill always lands at its tick: even when the
+            # queue drained first, die before acknowledging — the reply
+            # is never sent and the supervisor sees EOF mid-dispatch
+            os.kill(os.getpid(), signal.SIGKILL)
+        return {
+            "op": "result",
+            "accepted": accepted,
+            "rejected": rejected,
+            "shed": shed,
+            "processed": processed,
+            "queue_depth": len(self.queue),
+            "checkpoints": checkpoints,
+            "sample": {
+                "queue_depth": len(self.queue),
+                "processed": self.processed,
+                "cycle_count": self.machine.cycle_count,
+                "restarts": self.restarts,
+            },
+        }
+
+    def full_snapshot_doc(self) -> Dict[str, Any]:
+        return snapshot_machine(self.machine,
+                                include_attachments=False).to_json()
+
+
+def serve_primary(channel: Channel, core: WorkerCore,
+                  announce_ready: bool = True) -> None:
+    """The primary worker's serve loop (runs inside the forked process)."""
+    if announce_ready:
+        channel.send({"op": "ready", "role": "primary",
+                      "checkpoint": core.initial_checkpoint()})
+    try:
+        while True:
+            try:
+                message = channel.recv()
+            except TransportClosed:
+                os._exit(0)
+            op = message.get("op")
+            if op == "dispatch":
+                channel.send(core.on_dispatch(message))
+            elif op == "ping":
+                channel.send({"op": "pong",
+                              "token": message.get("token")})
+            elif op == "snapshot":
+                channel.send({"op": "snapshot",
+                              "doc": core.full_snapshot_doc()})
+            elif op == "hang":
+                # test hook: a worker that stops answering without dying
+                time.sleep(message.get("seconds", 60.0))
+                channel.send({"op": "hung-done"})
+            elif op == "die":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif op == "stop":
+                channel.send({"op": "bye",
+                              "transport": channel.describe(),
+                              "chain": core.chain.describe(),
+                              "restarts": core.restarts,
+                              "escalations": core.escalations})
+                os._exit(0)
+            else:
+                channel.send({"op": "error",
+                              "detail": f"unknown op {op!r}"})
+    except Exception as exc:  # pragma: no cover - defensive
+        try:
+            channel.send({"op": "error",
+                          "detail": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+        os._exit(1)
+
+
+def worker_main(child_sock, system, config: ShardConfig,
+                snapshot_doc: Optional[Dict[str, Any]] = None,
+                close_socks: Tuple = ()) -> None:
+    """Entry point of a primary worker process (forked)."""
+    for sock in close_socks:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    channel = Channel(child_sock, max_frame=config.max_frame,
+                      name="supervisor")
+    core = WorkerCore(system, config, snapshot_doc=snapshot_doc)
+    serve_primary(channel, core)
+    os._exit(0)
+
+
+# ---------------------------------------------------------------------------
+# supervisor side
+# ---------------------------------------------------------------------------
+
+class ShardHandle:
+    """Supervisor-side bookkeeping for one shard."""
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        self.process = None
+        self.channel: Optional[Channel] = None
+        self.standby_process = None
+        self.standby_channel: Optional[Channel] = None
+        self.state = RUNNING
+        #: accepted-but-unresolved items, seq -> item document
+        self.outstanding: Dict[int, Dict[str, Any]] = {}
+        #: dispatched item documents with no acknowledgement yet
+        self.unacked: List[Dict[str, Any]] = []
+        #: seqs whose acceptance must not be re-counted on a retry reply
+        self.exempt: set = set()
+        self.pending_retry = False
+        self.awaiting_reply = False
+        #: the last FULL snapshot received (every delta names it as base)
+        self.base_full: Optional[MachineSnapshot] = None
+        #: the current reconstructed state (base full + latest delta)
+        self.last_full: Optional[MachineSnapshot] = None
+        self.checkpoint_processed = 0
+        self.queue_depth = 0
+        self.missed_heartbeats = 0
+        self.resume_at: Optional[int] = None
+        self.failed_at: Optional[int] = None
+        # per-shard ledger (the distributed analogue of worker.describe())
+        self.accepted = 0
+        self.processed = 0
+        self.rejected = 0
+        self.shed = 0
+        self.respawns = 0
+        self.promotions = 0
+        self.kills = 0
+        self.checkpoints = 0
+        self.deltas_applied = 0
+        self.standby_verified = 0
+        self.standby_divergences = 0
+        self.standby_lost = False
+        self.rerouted_here = 0
+        self.cycle_count = 0
+        self.worker_restarts = 0
+        self.transport: Optional[Dict[str, Any]] = None
+        self.chain_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def live(self) -> bool:
+        return self.state == RUNNING and self.channel is not None \
+            and not self.awaiting_reply
+
+    @property
+    def busy(self) -> bool:
+        if self.state == BACKOFF:
+            return True
+        if self.state == FAILED:
+            return False
+        return bool(self.outstanding or self.unacked or self.queue_depth
+                    or self.pending_retry or self.awaiting_reply)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "accepted": self.accepted,
+            "processed": self.processed,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "queue_depth": self.queue_depth,
+            "respawns": self.respawns,
+            "promotions": self.promotions,
+            "kills": self.kills,
+            "checkpoints": self.checkpoints,
+            "deltas_applied": self.deltas_applied,
+            "standby_verified": self.standby_verified,
+            "standby_divergences": self.standby_divergences,
+            "standby_lost": self.standby_lost,
+            "rerouted_here": self.rerouted_here,
+            "cycle_count": self.cycle_count,
+            "worker_restarts": self.worker_restarts,
+            "transport": self.transport,
+            "chain": self.chain_stats,
+        }
+
+
+@dataclass
+class ShardFarmReport:
+    """Outcome of one distributed soak, conservation-checked globally."""
+
+    ticks: int
+    n_shards: int
+    standby: bool
+    shards: List[Dict[str, Any]]
+    submitted: int
+    accepted: int
+    processed: int
+    rejected: Dict[str, int]
+    shed: Dict[str, int]
+    queued: int
+    in_dispatch: int
+    promotions: int
+    respawns: int
+    permanent_failures: int
+    checkpoints: int
+    kills_fired: int
+    kills_skipped: int
+    rerouted: int
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+    timeline_dropped: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.queued + self.in_dispatch
+
+    def conservation(self) -> List[str]:
+        """Global no-silent-loss identities; empty when sound."""
+        problems: List[str] = []
+        rejected = sum(self.rejected.values())
+        shed = sum(self.shed.values())
+        if self.submitted != self.accepted + rejected + self.in_dispatch:
+            problems.append(
+                f"submitted {self.submitted} != accepted {self.accepted} "
+                f"+ rejected {rejected} + in-dispatch {self.in_dispatch}")
+        if self.accepted != self.processed + shed + self.queued:
+            problems.append(
+                f"accepted {self.accepted} != processed {self.processed} "
+                f"+ shed {shed} + queued {self.queued}")
+        return problems
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ticks": self.ticks,
+            "n_shards": self.n_shards,
+            "standby": self.standby,
+            "shards": self.shards,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "processed": self.processed,
+            "rejected": dict(sorted(self.rejected.items())),
+            "shed": dict(sorted(self.shed.items())),
+            "queued": self.queued,
+            "in_dispatch": self.in_dispatch,
+            "in_flight": self.in_flight,
+            "promotions": self.promotions,
+            "respawns": self.respawns,
+            "permanent_failures": self.permanent_failures,
+            "checkpoints": self.checkpoints,
+            "kills_fired": self.kills_fired,
+            "kills_skipped": self.kills_skipped,
+            "rerouted": self.rerouted,
+            "timeline": self.timeline,
+            "timeline_dropped": self.timeline_dropped,
+            "conservation_violations": self.conservation(),
+        }
+
+    def render(self) -> str:
+        from repro.flow import ascii_table
+
+        rows = [(s["name"], s["state"], s["processed"], s["queue_depth"],
+                 s["promotions"], s["respawns"], s["kills"],
+                 s["checkpoints"], s["deltas_applied"],
+                 s["standby_verified"])
+                for s in self.shards]
+        table = ascii_table(
+            ["Shard", "State", "Processed", "Queue", "Promoted",
+             "Respawns", "Kills", "Ckpts", "Deltas", "Verified"],
+            rows,
+            title=(f"Distributed farm: {self.submitted} submitted, "
+                   f"{self.processed} processed, "
+                   f"{sum(self.shed.values())} shed, "
+                   f"{sum(self.rejected.values())} rejected, "
+                   f"{self.kills_fired} kill(s), "
+                   f"{self.promotions} promotion(s)"))
+        problems = self.conservation()
+        verdict = ("conservation OK" if not problems
+                   else "CONSERVATION VIOLATED: " + "; ".join(problems))
+        if self.timeline_dropped:
+            verdict += (f"\ntimeline truncated: {self.timeline_dropped} "
+                        f"oldest event(s) aged out of the ring")
+        return table + "\n" + verdict
+
+
+class ShardSupervisor:
+    """Routes a work stream over N worker processes, with failover."""
+
+    def __init__(self, system, n_shards: int = 2,
+                 config: Optional[ShardConfig] = None,
+                 policy: Optional[RestartPolicy] = None,
+                 standby: bool = False,
+                 kill_plan: Optional[Iterable] = None,
+                 aggregator=None,
+                 timeline_limit: Optional[int] = 4096) -> None:
+        if n_shards < 1:
+            raise ShardFarmError("a distributed farm needs >= 1 shard")
+        self.system = system
+        self.config = config if config is not None else ShardConfig()
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.standby = standby
+        self.kill_plan = sorted(kill_plan or (),
+                                key=lambda k: (k.tick, k.shard))
+        self.aggregator = aggregator
+        self.ledger = FarmLedger(timeline_limit=timeline_limit)
+        self.shards = [ShardHandle(i, f"shard{i}")
+                       for i in range(n_shards)]
+        self.tick = 0
+        self.rerouted = 0
+        self.kills_fired = 0
+        self.kills_skipped = 0
+        self._parent_socks: List[Any] = []
+        self._pending_kill: Dict[int, int] = {}
+        self._ctx = None
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Fork every primary (and standby), await their ready frames."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ShardFarmError(
+                "the distributed farm requires the fork start method")
+        self._ctx = multiprocessing.get_context("fork")
+        for shard in self.shards:
+            self._spawn_primary(shard)
+            if self.standby:
+                self._spawn_standby(shard)
+        self._started = True
+
+    def _fork(self, target, child_sock, extra_args) -> Any:
+        process = self._ctx.Process(
+            target=target,
+            args=(child_sock, self.system, self.config) + extra_args
+            + (tuple(self._parent_socks),),
+            daemon=True)
+        process.start()
+        child_sock.close()
+        return process
+
+    def _spawn_primary(self, shard: ShardHandle,
+                       snapshot_doc: Optional[Dict[str, Any]] = None
+                       ) -> None:
+        channel, child_sock = channel_pair(
+            self.config.max_frame, names=("supervisor", shard.name))
+        self._parent_socks.append(channel.sock)
+        shard.channel = channel
+        shard.process = self._fork(worker_main, child_sock,
+                                   (snapshot_doc,))
+        ready = channel.recv(self.config.start_timeout)
+        if ready.get("op") != "ready":
+            raise ShardFarmError(
+                f"{shard.name} primary sent {ready!r} instead of ready")
+        self._apply_checkpoint(shard, ready["checkpoint"])
+
+    def _spawn_standby(self, shard: ShardHandle) -> None:
+        from repro.resil.standby import standby_main
+
+        channel, child_sock = channel_pair(
+            self.config.max_frame,
+            names=("supervisor", f"{shard.name}-standby"))
+        self._parent_socks.append(channel.sock)
+        shard.standby_channel = channel
+        shard.standby_process = self._fork(standby_main, child_sock, ())
+        ready = channel.recv(self.config.start_timeout)
+        if ready.get("op") != "ready":
+            raise ShardFarmError(
+                f"{shard.name} standby sent {ready!r} instead of ready")
+
+    def _close_channel(self, channel: Optional[Channel]) -> None:
+        if channel is None:
+            return
+        if channel.sock in self._parent_socks:
+            self._parent_socks.remove(channel.sock)
+        channel.close()
+
+    def shutdown(self) -> None:
+        """Stop every live process, collecting final transport stats."""
+        for shard in self.shards:
+            for which, channel in (("primary", shard.channel),
+                                   ("standby", shard.standby_channel)):
+                if channel is None:
+                    continue
+                try:
+                    bye = channel.request({"op": "stop"},
+                                          self.config.request_timeout)
+                    if which == "primary":
+                        shard.transport = bye.get("transport")
+                        shard.chain_stats = bye.get("chain")
+                except TransportError:
+                    pass
+                self._close_channel(channel)
+            shard.channel = None
+            shard.standby_channel = None
+            for process in (shard.process, shard.standby_process):
+                if process is not None:
+                    process.join(timeout=5)
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=5)
+            shard.process = None
+            shard.standby_process = None
+
+    # -- routing -----------------------------------------------------------
+    def _route(self, seq: int) -> Optional[ShardHandle]:
+        n = len(self.shards)
+        preferred = seq % n
+        for offset in range(n):
+            shard = self.shards[(preferred + offset) % n]
+            if shard.live:
+                if offset:
+                    self.rerouted += 1
+                    shard.rerouted_here += 1
+                    self.ledger.note(self.tick, "reroute", shard.name,
+                                     f"item {seq} from shard{preferred}")
+                return shard
+        return None
+
+    # -- the drive loop ----------------------------------------------------
+    def run(self, stream: Iterable[WorkItem], arrivals_per_tick: int = 4,
+            max_ticks: int = 100000) -> ShardFarmReport:
+        """Drive the farm until the stream drains; returns the report.
+
+        Starts and shuts the worker processes down itself when the farm
+        is not already started (one-shot use).
+        """
+        own = not self._started
+        if own:
+            self.start()
+        try:
+            items = [encode_item(item) for item in stream]
+            cursor = 0
+            ticks = 0
+            while ticks < max_ticks:
+                ticks += 1
+                self.tick = ticks
+                self._fire_kills(ticks)
+                self._respawn_due(ticks)
+                burst = items[cursor:cursor + arrivals_per_tick]
+                cursor += len(burst)
+                self._tick_once(burst, ticks)
+                if self.aggregator is not None \
+                        and ticks % self.config.sample_every == 0:
+                    self.aggregator.on_tick(ticks, self._counters(),
+                                            self._shard_rows())
+                if cursor >= len(items) and self._drained():
+                    break
+            self.kills_skipped += len([k for k in self.kill_plan
+                                       if k.tick > ticks])
+            return self.report(ticks)
+        finally:
+            if own:
+                self.shutdown()
+
+    def _tick_once(self, burst: List[Dict[str, Any]], tick: int) -> None:
+        buckets: Dict[int, List[Dict[str, Any]]] = {}
+        for doc in burst:
+            self.ledger.submitted += 1
+            shard = self._route(doc["seq"])
+            if shard is None:
+                self.ledger.reject(REJECT_WORKER_FAILED)
+            else:
+                buckets.setdefault(shard.index, []).append(doc)
+
+        contacted: List[Tuple[ShardHandle, str]] = []
+        for shard in self.shards:
+            if shard.state != RUNNING or shard.channel is None:
+                continue
+            if shard.awaiting_reply:
+                contacted.append((shard, "late"))
+                continue
+            bucket = buckets.get(shard.index, [])
+            if shard.pending_retry:
+                bucket = sorted(shard.outstanding.values(),
+                                key=lambda d: d["seq"]) \
+                    + shard.unacked + bucket
+                shard.exempt = set(shard.outstanding)
+                shard.pending_retry = False
+            kill_after = self._pending_kill.pop(shard.index, None)
+            if bucket or shard.queue_depth or kill_after is not None:
+                fresh = [doc for doc in bucket
+                         if doc["seq"] not in shard.exempt]
+                message: Dict[str, Any] = {"op": "dispatch",
+                                           "items": bucket,
+                                           "batch": self.config.batch}
+                if kill_after is not None:
+                    message["kill_after"] = kill_after
+                    shard.kills += 1
+                    self.kills_fired += 1
+                    self.ledger.note(
+                        tick, "process-kill", shard.name,
+                        f"SIGKILL after {kill_after} item(s)")
+                shard.unacked = fresh
+                try:
+                    shard.channel.send(message)
+                except TransportClosed as exc:
+                    self._on_death(shard, tick, str(exc))
+                    continue
+                contacted.append((shard, "dispatch"))
+            else:
+                try:
+                    shard.channel.send({"op": "ping", "token": tick})
+                except TransportClosed as exc:
+                    self._on_death(shard, tick, str(exc))
+                    continue
+                contacted.append((shard, "ping"))
+
+        for shard, what in contacted:
+            if shard.channel is None or shard.state != RUNNING:
+                continue
+            try:
+                reply = shard.channel.recv(self.config.request_timeout)
+            except TransportClosed as exc:
+                self._on_death(shard, tick, str(exc))
+            except TransportTimeout:
+                self._on_missed_heartbeat(shard, tick)
+            else:
+                shard.awaiting_reply = False
+                shard.missed_heartbeats = 0
+                if reply.get("op") == "result":
+                    self._on_result(shard, reply, tick)
+                elif reply.get("op") == "error":
+                    self._on_death(shard, tick,
+                                   f"worker error: {reply.get('detail')}")
+
+    # -- reply accounting --------------------------------------------------
+    def _on_result(self, shard: ShardHandle, reply: Dict[str, Any],
+                   tick: int) -> None:
+        ledger = self.ledger
+        dispatched = {doc["seq"]: doc for doc in shard.unacked}
+        for seq in reply.get("accepted", ()):
+            if seq in shard.exempt:
+                continue
+            ledger.accepted += 1
+            shard.accepted += 1
+            if seq in dispatched:
+                shard.outstanding[seq] = dispatched[seq]
+        for seq, reason in reply.get("rejected", ()):
+            if seq in shard.exempt:
+                # an item the dead primary had accepted no longer fits
+                # the respawned worker's queue: attributed shed, not loss
+                shard.outstanding.pop(seq, None)
+                ledger.drop(SHED_RESPAWN_OVERFLOW)
+                shard.shed += 1
+            else:
+                ledger.reject(reason)
+                shard.rejected += 1
+        for seq, reason in reply.get("shed", ()):
+            shard.outstanding.pop(seq, None)
+            ledger.drop(reason)
+            shard.shed += 1
+            ledger.note(tick, "shed", shard.name,
+                        f"item {seq}: {reason}")
+        processed_docs: List[Dict[str, Any]] = []
+        for seq in reply.get("processed", ()):
+            doc = shard.outstanding.pop(seq, None)
+            if doc is not None:
+                processed_docs.append(doc)
+            ledger.processed += 1
+            shard.processed += 1
+        shard.unacked = []
+        shard.exempt = set()
+        shard.queue_depth = reply.get("queue_depth", 0)
+        sample = reply.get("sample") or {}
+        shard.cycle_count = sample.get("cycle_count", shard.cycle_count)
+        shard.worker_restarts = sample.get("restarts",
+                                           shard.worker_restarts)
+        self._tee(shard, processed_docs, tick)
+        for payload in reply.get("checkpoints", ()):
+            self._apply_checkpoint(shard, payload)
+            self._advance_standby(shard, payload, tick)
+
+    def _apply_checkpoint(self, shard: ShardHandle,
+                          payload: Dict[str, Any]) -> None:
+        if payload["kind"] == "full":
+            shard.base_full = MachineSnapshot.from_json(payload["doc"])
+            shard.last_full = shard.base_full
+        else:
+            # deltas are always encoded against the last full, never
+            # chained — each one alone rebuilds the current state
+            delta = DeltaSnapshot.from_json(payload["doc"])
+            shard.last_full = apply_delta(shard.base_full, delta)
+            shard.deltas_applied += 1
+        shard.checkpoint_processed = payload["processed"]
+        shard.checkpoints += 1
+        self.ledger.checkpoints += 1
+
+    # -- standby coordination ----------------------------------------------
+    def _tee(self, shard: ShardHandle, docs: List[Dict[str, Any]],
+             tick: int) -> None:
+        if shard.standby_channel is None or not docs:
+            return
+        try:
+            shard.standby_channel.request(
+                {"op": "tee", "items": docs}, self.config.request_timeout)
+        except TransportError as exc:
+            self._lose_standby(shard, tick, str(exc))
+
+    def _advance_standby(self, shard: ShardHandle,
+                         payload: Dict[str, Any], tick: int) -> None:
+        if shard.standby_channel is None:
+            return
+        fingerprint = snapshot_fingerprint(shard.last_full)
+        try:
+            reply = shard.standby_channel.request(
+                {"op": "advance", "through": payload["processed"],
+                 "fingerprint": fingerprint},
+                self.config.request_timeout)
+        except TransportError as exc:
+            self._lose_standby(shard, tick, str(exc))
+            return
+        if reply.get("verified"):
+            shard.standby_verified += 1
+        elif reply.get("verified") is False:
+            shard.standby_divergences += 1
+            self.ledger.note(tick, "standby-divergence", shard.name,
+                             f"at {payload['processed']} processed")
+
+    def _lose_standby(self, shard: ShardHandle, tick: int,
+                      cause: str) -> None:
+        self._close_channel(shard.standby_channel)
+        shard.standby_channel = None
+        if shard.standby_process is not None:
+            shard.standby_process.join(timeout=5)
+            shard.standby_process = None
+        shard.standby_lost = True
+        self.ledger.note(tick, "standby-lost", shard.name, cause)
+
+    # -- failure handling --------------------------------------------------
+    def _on_missed_heartbeat(self, shard: ShardHandle, tick: int) -> None:
+        shard.missed_heartbeats += 1
+        shard.awaiting_reply = True
+        self.ledger.note(tick, "missed-heartbeat", shard.name,
+                         f"{shard.missed_heartbeats} of "
+                         f"{self.config.miss_threshold}")
+        if shard.missed_heartbeats >= self.config.miss_threshold:
+            # hung, not dead: put it down and handle the death uniformly
+            if shard.process is not None and shard.process.is_alive():
+                os.kill(shard.process.pid, signal.SIGKILL)
+            self._on_death(
+                shard, tick,
+                f"hung: {shard.missed_heartbeats} missed heartbeat(s)")
+
+    def _on_death(self, shard: ShardHandle, tick: int,
+                  cause: str) -> None:
+        self.ledger.escalations += 1
+        self.ledger.note(tick, "worker-lost", shard.name, cause)
+        self._close_channel(shard.channel)
+        shard.channel = None
+        shard.awaiting_reply = False
+        if shard.process is not None:
+            shard.process.join(timeout=5)
+            shard.process = None
+        if shard.standby_channel is not None:
+            if self._promote(shard, tick):
+                return
+        if shard.respawns < self.policy.max_restarts \
+                and shard.last_full is not None:
+            shard.state = BACKOFF
+            shard.failed_at = tick
+            shard.resume_at = tick + self.policy.backoff(shard.respawns,
+                                                         key=shard.name)
+            shard.pending_retry = True
+            self.ledger.note(tick, "backoff", shard.name,
+                             f"respawn at tick {shard.resume_at}")
+        else:
+            self._fail_shard(shard, tick, cause)
+
+    def _promote(self, shard: ShardHandle, tick: int) -> bool:
+        """Promote the standby; True when the shard is live again."""
+        retry = sorted(shard.outstanding.values(),
+                       key=lambda doc: doc["seq"])
+        fresh = list(shard.unacked)
+        try:
+            reply = shard.standby_channel.request(
+                {"op": "promote", "retry": retry, "fresh": fresh},
+                self.config.request_timeout)
+        except TransportError as exc:
+            # double kill: the standby died too — fall back to respawn
+            # or permanent failure, with both losses attributed
+            self._lose_standby(shard, tick, f"died at promotion: {exc}")
+            return False
+        fresh_seqs = {doc["seq"] for doc in fresh}
+        for seq in reply.get("processed", ()):
+            if seq in fresh_seqs:
+                self.ledger.accepted += 1
+                shard.accepted += 1
+            shard.outstanding.pop(seq, None)
+            self.ledger.processed += 1
+            shard.processed += 1
+        for seq, reason in reply.get("dropped", ()):
+            if seq in fresh_seqs:
+                self.ledger.reject(reason)
+                shard.rejected += 1
+            else:
+                shard.outstanding.pop(seq, None)
+                self.ledger.drop(reason)
+                shard.shed += 1
+        shard.unacked = []
+        self._apply_checkpoint(shard, reply["checkpoint"])
+        shard.channel = shard.standby_channel
+        shard.process = shard.standby_process
+        shard.standby_channel = None
+        shard.standby_process = None
+        shard.queue_depth = 0
+        shard.promotions += 1
+        self.ledger.promotions += 1
+        self.ledger.restarts += 1
+        self.ledger.time_to_recover.append(0)
+        self.ledger.note(tick, "promotion", shard.name,
+                         f"standby took over at "
+                         f"{reply['checkpoint']['processed']} processed")
+        return True
+
+    def _fail_shard(self, shard: ShardHandle, tick: int,
+                    cause: str) -> None:
+        shard.state = FAILED
+        self.ledger.permanent_failures += 1
+        self.ledger.note(tick, "permanent-failure", shard.name, cause)
+        for seq in sorted(shard.outstanding):
+            self.ledger.drop(SHED_SHARD_LOST)
+            shard.shed += 1
+        shard.outstanding.clear()
+        for _doc in shard.unacked:
+            self.ledger.reject(SHED_SHARD_LOST)
+            shard.rejected += 1
+        shard.unacked = []
+        shard.queue_depth = 0
+        shard.pending_retry = False
+        if shard.standby_channel is not None:
+            self._lose_standby(shard, tick, "shard failed permanently")
+
+    def _respawn_due(self, tick: int) -> None:
+        for shard in self.shards:
+            if shard.state != BACKOFF or tick < (shard.resume_at or 0):
+                continue
+            try:
+                self._spawn_primary(shard,
+                                    snapshot_doc=shard.last_full.to_json())
+            except (TransportError, OSError) as exc:
+                self._fail_shard(shard, tick, f"respawn failed: {exc}")
+                continue
+            shard.state = RUNNING
+            shard.respawns += 1
+            shard.queue_depth = 0
+            self.ledger.restarts += 1
+            if shard.failed_at is not None:
+                self.ledger.time_to_recover.append(tick - shard.failed_at)
+                shard.failed_at = None
+            self.ledger.note(
+                tick, "respawn", shard.name,
+                f"respawn {shard.respawns} from cycle "
+                f"{shard.last_full.cycle_count}")
+
+    # -- chaos -------------------------------------------------------------
+    def _fire_kills(self, tick: int) -> None:
+        due = [kill for kill in self.kill_plan if kill.tick == tick]
+        for kill in due:
+            shard = self.shards[kill.shard % len(self.shards)]
+            if kill.target == "standby":
+                if shard.standby_channel is None:
+                    self.kills_skipped += 1
+                    continue
+                try:
+                    shard.standby_channel.send({"op": "die"})
+                except TransportClosed:
+                    pass
+                shard.kills += 1
+                self.kills_fired += 1
+                self.ledger.note(tick, "process-kill",
+                                 f"{shard.name}-standby", "SIGKILL")
+                self._lose_standby(shard, tick, "chaos SIGKILL")
+            else:
+                if shard.state != RUNNING or shard.channel is None:
+                    self.kills_skipped += 1
+                    continue
+                self._pending_kill[shard.index] = kill.after_items
+
+    # -- reporting ---------------------------------------------------------
+    def _drained(self) -> bool:
+        return not any(shard.busy for shard in self.shards) \
+            and not self._pending_kill
+
+    def _counters(self) -> Dict[str, int]:
+        return {
+            "submitted": self.ledger.submitted,
+            "accepted": self.ledger.accepted,
+            "processed": self.ledger.processed,
+            "rejected": self.ledger.rejected_total,
+            "shed": self.ledger.shed_total,
+            "queued": sum(len(s.outstanding) for s in self.shards),
+            "in_dispatch": sum(len(s.unacked) for s in self.shards
+                               if s.state != RUNNING or s.pending_retry
+                               or s.awaiting_reply),
+        }
+
+    def _shard_rows(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            shard.name: {
+                "state": shard.state,
+                "queue_depth": shard.queue_depth,
+                "processed": shard.processed,
+                "cycle_count": shard.cycle_count,
+                "promotions": shard.promotions,
+                "respawns": shard.respawns,
+            }
+            for shard in self.shards
+        }
+
+    def report(self, ticks: Optional[int] = None) -> ShardFarmReport:
+        ledger = self.ledger
+        counters = self._counters()
+        return ShardFarmReport(
+            ticks=ticks if ticks is not None else self.tick,
+            n_shards=len(self.shards),
+            standby=self.standby,
+            shards=[shard.describe() for shard in self.shards],
+            submitted=ledger.submitted,
+            accepted=ledger.accepted,
+            processed=ledger.processed,
+            rejected=dict(ledger.rejected),
+            shed=dict(ledger.shed),
+            queued=counters["queued"],
+            in_dispatch=counters["in_dispatch"],
+            promotions=ledger.promotions,
+            respawns=sum(shard.respawns for shard in self.shards),
+            permanent_failures=ledger.permanent_failures,
+            checkpoints=ledger.checkpoints,
+            kills_fired=self.kills_fired,
+            kills_skipped=self.kills_skipped,
+            rerouted=self.rerouted,
+            timeline=list(ledger.timeline),
+            timeline_dropped=ledger.timeline_dropped,
+        )

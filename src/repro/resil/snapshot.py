@@ -425,3 +425,39 @@ def _restore_guard(guard, doc: Dict[str, Any]) -> None:
     for name in _GUARD_COUNTERS:
         setattr(guard, name, doc["counters"][name])
     guard._cycle_log.clear()
+
+
+def write_snapshot(snapshot: MachineSnapshot, path: str) -> None:
+    """Write a snapshot file **atomically** (temp file + ``os.replace``).
+
+    A worker killed mid-checkpoint leaves either the previous snapshot or
+    none — never a torn JSON file that poisons the next restore.
+    """
+    import os
+
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(snapshot.to_json_str())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: str) -> MachineSnapshot:
+    """Load a snapshot file, attributing torn or corrupt files honestly."""
+    import json
+
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"snapshot file {path!r} is truncated or corrupt (not "
+                f"valid JSON at line {exc.lineno} column {exc.colno}): "
+                f"{exc.msg}") from None
+    return MachineSnapshot.from_json(document)

@@ -1,0 +1,221 @@
+"""Hot-standby replicas: replay one checkpoint behind, promote on death.
+
+A critical shard's failure story without a standby is *rewind and
+replay*: respawn a process, restore the last checkpoint, re-run the
+in-flight items — a recovery whose latency grows with checkpoint spacing.
+A :class:`~repro.resil.shardfarm.ShardSupervisor` started with
+``standby=True`` instead pairs every primary with a **hot standby
+process** running this module's loop:
+
+* the supervisor **tees** every item the primary *processed* (in
+  processed order) to the standby, where it lands in the replay buffer —
+  the **delta log**;
+* at every primary checkpoint the supervisor sends ``advance``: the
+  standby replays buffered items up to the checkpoint watermark, so its
+  machine state deliberately trails the primary by **exactly one
+  checkpoint**, and then proves itself — its own snapshot fingerprint
+  must equal the fingerprint of the snapshot the supervisor
+  reconstructed from the primary's (delta-encoded) checkpoint.  Replay
+  determinism and delta reconstruction verify each other continuously;
+* when the primary dies, escalation becomes **promotion**: the standby
+  drains the rest of its delta log (reaching the primary's last
+  acknowledged state), replays the in-flight items the supervisor still
+  holds, emits a fresh full checkpoint, and takes over as the shard's
+  primary — same process, same socket, no rewind.
+
+The standby never talks to the primary directly; the supervisor owns the
+stream and the ledger, Harel-style: inter-object coordination lives in
+one place and the replicas stay sequential and isolated.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any, Dict, List, Optional
+
+from repro.resil.snapshot import snapshot_machine
+from repro.resil.transport import Channel, TransportClosed
+
+
+class StandbyLog:
+    """The delta log: teed items buffered between checkpoints.
+
+    ``append`` takes item documents in the primary's processed order;
+    ``take_through`` hands back the items needed to reach a watermark
+    (a cumulative processed count), and ``drain`` the whole remainder.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Dict[str, Any]] = []
+        self.teed = 0
+        self.replayed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def append(self, items: List[Dict[str, Any]]) -> None:
+        self._items.extend(items)
+        self.teed += len(items)
+
+    def take_through(self, watermark: int) -> List[Dict[str, Any]]:
+        """Items to replay so that ``replayed`` reaches *watermark*."""
+        need = max(0, watermark - self.replayed)
+        batch, self._items = self._items[:need], self._items[need:]
+        self.replayed += len(batch)
+        return batch
+
+    def drain(self) -> List[Dict[str, Any]]:
+        batch, self._items = self._items, []
+        self.replayed += len(batch)
+        return batch
+
+
+class StandbyReplica:
+    """Process-side state of one hot standby."""
+
+    def __init__(self, system, config) -> None:
+        from repro.fault.guard import MachineGuard
+
+        self.system = system
+        self.config = config
+        self.machine = system.make_machine()
+        self.machine.attach_guard(MachineGuard(
+            max_retries=config.guard_retries,
+            escalate_unrecoverable=True))
+        self.log = StandbyLog()
+        self.verified = 0
+        self.divergences = 0
+
+    # -- replay ------------------------------------------------------------
+    def _replay(self, items: List[Dict[str, Any]]) -> None:
+        for item in items:
+            self.machine.step(tuple(item["events"]))
+
+    def fingerprint(self) -> str:
+        from repro.resil.delta import snapshot_fingerprint
+
+        return snapshot_fingerprint(
+            snapshot_machine(self.machine, include_attachments=False))
+
+    # -- operations --------------------------------------------------------
+    def on_tee(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.log.append(message["items"])
+        return {"op": "ok", "buffered": len(self.log)}
+
+    def on_advance(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Replay through the checkpoint watermark, then prove the state."""
+        self._replay(self.log.take_through(message["through"]))
+        verified: Optional[bool] = None
+        expected = message.get("fingerprint")
+        if expected is not None:
+            verified = self.fingerprint() == expected
+            if verified:
+                self.verified += 1
+            else:
+                self.divergences += 1
+        return {"op": "advanced", "replayed": self.log.replayed,
+                "buffered": len(self.log), "verified": verified}
+
+    def on_promote(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Drain the delta log, replay the in-flight items, take over.
+
+        ``retry`` items were accepted by the dead primary but never
+        processed; ``fresh`` items were dispatched but never acknowledged.
+        Both are (re)played here — the supervisor sorts out the ledger
+        (retry items keep their acceptance, fresh ones gain it).
+        """
+        from repro.fault.guard import MachineEscalation
+        from repro.pscp.machine import MachineError
+
+        self._replay(self.log.drain())
+        processed: List[int] = []
+        dropped: List[List[Any]] = []
+        escalation: Optional[str] = None
+        pending = list(message.get("retry", ())) + \
+            list(message.get("fresh", ()))
+        for item in pending:
+            if escalation is not None:
+                dropped.append([item["seq"], "machine-escalation"])
+                continue
+            try:
+                self.machine.step(tuple(item["events"]))
+            except (MachineEscalation, MachineError) as exc:
+                escalation = str(exc)
+                dropped.append([item["seq"], "machine-escalation"])
+                continue
+            processed.append(item["seq"])
+        snapshot = snapshot_machine(self.machine,
+                                    include_attachments=False)
+        return {
+            "op": "promoted",
+            "replayed": self.log.replayed,
+            "processed": processed,
+            "dropped": dropped,
+            "escalation": escalation,
+            "checkpoint": {"kind": "full", "doc": snapshot.to_json(),
+                           "processed": self.log.replayed + len(processed),
+                           "cycle": snapshot.cycle_count},
+        }
+
+
+def standby_main(child_sock, system, config, close_socks=()) -> None:
+    """Entry point of a standby process (forked by the supervisor).
+
+    Serves ``tee``/``advance``/``ping`` until either a ``promote`` —
+    after which it switches into the primary serve loop and handles
+    ``dispatch`` traffic — or a ``stop``/``die``/supervisor-EOF exit.
+    """
+    for sock in close_socks:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    channel = Channel(child_sock, max_frame=config.max_frame,
+                      name="supervisor")
+    replica = StandbyReplica(system, config)
+    channel.send({"op": "ready", "role": "standby"})
+    try:
+        while True:
+            try:
+                message = channel.recv()
+            except TransportClosed:
+                os._exit(0)
+            op = message.get("op")
+            if op == "tee":
+                channel.send(replica.on_tee(message))
+            elif op == "advance":
+                channel.send(replica.on_advance(message))
+            elif op == "ping":
+                channel.send({"op": "pong",
+                              "token": message.get("token")})
+            elif op == "promote":
+                reply = replica.on_promote(message)
+                channel.send(reply)
+                # take over as the shard's primary on the same socket
+                from repro.resil.shardfarm import WorkerCore, serve_primary
+
+                core = WorkerCore(replica.system, replica.config,
+                                  machine=replica.machine,
+                                  processed=reply["checkpoint"]["processed"])
+                serve_primary(channel, core, announce_ready=False)
+                os._exit(0)
+            elif op == "die":
+                # chaos: an uncatchable, cleanup-free death, mid-standby
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif op == "stop":
+                channel.send({"op": "bye",
+                              "transport": channel.describe(),
+                              "verified": replica.verified,
+                              "divergences": replica.divergences})
+                os._exit(0)
+            else:
+                channel.send({"op": "error",
+                              "detail": f"unknown op {op!r}"})
+    except Exception as exc:  # report, then die visibly
+        try:
+            channel.send({"op": "error", "detail": f"{type(exc).__name__}: "
+                                                   f"{exc}"})
+        except Exception:
+            pass
+        os._exit(1)

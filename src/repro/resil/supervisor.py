@@ -66,11 +66,32 @@ class RestartPolicy:
     backoff_base_ticks: int = 2
     backoff_cap_ticks: int = 32
     checkpoint_every: int = 16
+    #: maximum extra ticks of seeded jitter added to each backoff, so
+    #: simultaneous escalations across workers/shards do not produce a
+    #: synchronized restart stampede; 0 (the default) keeps the historical
+    #: deterministic schedule byte-identical
+    jitter_ticks: int = 0
+    jitter_seed: int = 0
 
-    def backoff(self, restarts_used: int) -> int:
-        """Bounded exponential backoff: base * 2^restarts, capped."""
-        return min(self.backoff_base_ticks * (1 << restarts_used),
+    def backoff(self, restarts_used: int, key: str = "") -> int:
+        """Bounded exponential backoff: base * 2^restarts, capped.
+
+        With ``jitter_ticks`` set, adds ``[0, jitter_ticks]`` extra ticks
+        drawn from a generator seeded by ``(jitter_seed, key,
+        restarts_used)`` — derived through :func:`zlib.crc32`, not
+        :func:`hash`, so two runs with the same seed desynchronize
+        *identically* regardless of ``PYTHONHASHSEED``.
+        """
+        import random
+        import zlib
+
+        base = min(self.backoff_base_ticks * (1 << restarts_used),
                    self.backoff_cap_ticks)
+        if not self.jitter_ticks:
+            return base
+        token = f"{key}:{restarts_used}".encode("utf-8")
+        rng = random.Random(self.jitter_seed * 1000003 + zlib.crc32(token))
+        return base + rng.randrange(self.jitter_ticks + 1)
 
 
 @dataclass
@@ -84,13 +105,20 @@ class FarmLedger:
     shed: Dict[str, int] = field(default_factory=dict)
     escalations: int = 0
     restarts: int = 0
+    #: standby promotions (distributed farm only)
+    promotions: int = 0
     permanent_failures: int = 0
     checkpoints: int = 0
     time_to_recover: List[int] = field(default_factory=list)
     #: supervisor-level instants (shed, restart, escalation,
     #: permanent-failure) in tick order — the merged Perfetto trace's
-    #: dedicated supervisor track and the forensics timeline
+    #: dedicated supervisor track and the forensics timeline.  Bounded:
+    #: the ring keeps the most recent ``timeline_limit`` events and counts
+    #: what aged out in ``timeline_dropped``, so a long soak cannot grow
+    #: without limit and consumers can report the truncation honestly.
     timeline: List[Dict[str, Any]] = field(default_factory=list)
+    timeline_limit: Optional[int] = 4096
+    timeline_dropped: int = 0
 
     def reject(self, reason: str) -> None:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
@@ -108,6 +136,11 @@ class FarmLedger:
         if detail is not None:
             event["detail"] = detail
         self.timeline.append(event)
+        if self.timeline_limit is not None:
+            overflow = len(self.timeline) - self.timeline_limit
+            if overflow > 0:
+                del self.timeline[:overflow]
+                self.timeline_dropped += overflow
 
     @property
     def rejected_total(self) -> int:
@@ -271,7 +304,8 @@ class MachineWorker:
         self.queue.push_front(item)
         self.state = BACKOFF
         self._failed_at = tick
-        self._resume_at = tick + self.policy.backoff(self.restarts_used)
+        self._resume_at = tick + self.policy.backoff(self.restarts_used,
+                                                     key=self.name)
 
     def _restart(self, tick: int) -> None:
         """Restore the machine from the last checkpoint and resume.
@@ -344,6 +378,7 @@ class FarmReport:
     checkpoints: int
     time_to_recover: List[int]
     timeline: List[Dict[str, Any]] = field(default_factory=list)
+    timeline_dropped: int = 0
     forensics_bundles: int = 0
 
     def conservation(self) -> List[str]:
@@ -381,6 +416,7 @@ class FarmReport:
             "checkpoints": self.checkpoints,
             "time_to_recover": self.time_to_recover,
             "timeline": self.timeline,
+            "timeline_dropped": self.timeline_dropped,
             "forensics_bundles": self.forensics_bundles,
             "conservation_violations": self.conservation(),
         }
@@ -403,6 +439,9 @@ class FarmReport:
         problems = self.conservation()
         verdict = ("conservation OK" if not problems
                    else "CONSERVATION VIOLATED: " + "; ".join(problems))
+        if self.timeline_dropped:
+            verdict += (f"\ntimeline truncated: {self.timeline_dropped} "
+                        f"oldest event(s) aged out of the ring")
         return table + "\n" + verdict
 
 
@@ -433,7 +472,8 @@ class Supervisor:
                    tracer_factory: Optional[Callable[[int], Any]] = None,
                    recorder_factory: Optional[
                        Callable[[int], Any]] = None,
-                   metrics=None, sampler=None) -> "Supervisor":
+                   metrics=None, sampler=None,
+                   timeline_limit: Optional[int] = 4096) -> "Supervisor":
         """Build a farm of fresh machines over one built system.
 
         ``guard_factory`` returns a fresh
@@ -449,7 +489,7 @@ class Supervisor:
         from repro.fault.guard import MachineGuard
 
         policy = policy if policy is not None else RestartPolicy()
-        ledger = FarmLedger()
+        ledger = FarmLedger(timeline_limit=timeline_limit)
         workers = []
         for index in range(n_workers):
             def factory(index=index):
@@ -543,6 +583,7 @@ class Supervisor:
             checkpoints=ledger.checkpoints,
             time_to_recover=list(ledger.time_to_recover),
             timeline=list(ledger.timeline),
+            timeline_dropped=ledger.timeline_dropped,
             forensics_bundles=sum(len(w.forensics) for w in self.workers),
         )
         if self.metrics is not None:
