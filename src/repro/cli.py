@@ -880,6 +880,104 @@ def run_bench(argv: List[str], out=sys.stdout) -> int:
     return 0 if report.ok else 1
 
 
+def run_fuzz(argv: List[str], out=sys.stdout) -> int:
+    """``repro fuzz``: seeded differential campaigns over generated charts.
+
+    Exit status: 0 when every chart is clean (or, with ``--canary``, when
+    the planted mutation is caught and correctly bisected everywhere it
+    fits), 1 on any divergence / missed canary, 2 on bad inputs.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="generate seeded random charts and differentially "
+                    "compare the reference interpreter against the machine "
+                    "at every improvement-ladder rung, plus snapshot/"
+                    "restore and delta-chain continuations; divergences "
+                    "are shrunk and bisected to the guilty stage (see "
+                    "docs/FUZZING.md)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (default: 1)")
+    parser.add_argument("--charts", type=_positive_int, default=50,
+                        help="charts to generate (default: 50)")
+    parser.add_argument("--cycles", type=_positive_int, default=40,
+                        help="event-trace cycles per chart (default: 40)")
+    parser.add_argument("--rungs", type=_positive_int, default=None,
+                        help="limit the ladder to its first N rungs "
+                             "(default: all)")
+    parser.add_argument("--canary", default=None, metavar="STAGE",
+                        help="plant a retargeting mutation at STAGE in "
+                             "every chart where one fits; the campaign "
+                             "must catch and bisect it back to STAGE")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking diverging charts")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the canonical JSON report to PATH")
+    parser.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay the regression corpus under DIR "
+                             "instead of running a campaign")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    from repro.fuzz import FuzzCampaign, replay_corpus
+
+    if args.replay is not None:
+        if not os.path.isdir(args.replay):
+            print(f"error: {args.replay!r} is not a directory",
+                  file=sys.stderr)
+            return 2
+        results = replay_corpus(args.replay, cycles_default=args.cycles)
+        if args.json:
+            json.dump([r.to_json() for r in results], out, indent=2,
+                      sort_keys=True)
+            print(file=out)
+        else:
+            for result in results:
+                mark = "ok " if result.ok else "FAIL"
+                print(f"  {mark} {result.name}: {result.detail}", file=out)
+            print(f"{sum(r.ok for r in results)}/{len(results)} corpus "
+                  f"entries passed", file=out)
+        return 0 if results and all(r.ok for r in results) else 1
+
+    campaign = FuzzCampaign(seed=args.seed, charts=args.charts,
+                            cycles=args.cycles, max_rungs=args.rungs,
+                            canary_stage=args.canary,
+                            shrink=not args.no_shrink)
+    report = campaign.run()
+    if args.out is not None:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(report.dumps())
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(report.dumps(), end="", file=out)
+    else:
+        print(report.render(), file=out)
+
+    if args.canary is None:
+        return 0 if report.clean else 1
+    # canary mode: every plantable chart must be caught AND attributed
+    caught = [o for o in report.outcomes if o.status == "diverged"]
+    wrong = [o for o in caught if o.guilty_stage != args.canary
+             or not o.bisect_verified]
+    if not caught:
+        print("canary: no chart could host the mutation", file=sys.stderr)
+        return 1
+    if wrong:
+        print(f"canary: {len(wrong)} chart(s) bisected to the wrong stage",
+              file=sys.stderr)
+        return 1
+    unexpected = [o for o in report.outcomes
+                  if o.status not in ("diverged", "canary-unplantable")]
+    if unexpected:
+        print(f"canary: {len(unexpected)} chart(s) neither diverged nor "
+              f"unplantable", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _parse_code_list(text: Optional[str]) -> Tuple[str, ...]:
     if not text:
         return ()
@@ -1043,6 +1141,8 @@ def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return run_forensics(argv[1:], out)
     if argv and argv[0] == "bench":
         return run_bench(argv[1:], out)
+    if argv and argv[0] == "fuzz":
+        return run_fuzz(argv[1:], out)
     args = build_argument_parser().parse_args(argv)
 
     try:

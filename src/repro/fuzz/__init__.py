@@ -1,0 +1,90 @@
+"""Differential chart fuzzing: seeded generation, multi-rung oracle,
+delta-debugging shrinker and ladder bisection.
+
+The fuzzer closes the loop the ROADMAP's "differential fuzzing" item asks
+for: random-but-well-formed hierarchical charts with *real* action routines
+are run through the reference :class:`~repro.statechart.semantics.Interpreter`
+and the full :class:`~repro.pscp.machine.PscpMachine` at every improvement-
+ladder rung (plus a snapshot/restore continuation and a delta-chain
+reconstruction), and any divergence is shrunk to a minimal reproducing chart
+and bisected to the guilty stage.
+
+Public API::
+
+    from repro.fuzz import (
+        ChartSpec, GeneratorConfig, generate_spec, render_chart,
+        render_source, SpecEvaluator, OracleHarness, FuzzCampaign,
+    )
+"""
+
+from repro.fuzz.generator import (
+    ChartSpec,
+    GeneratorConfig,
+    RoutineSpec,
+    StateSpec,
+    TransitionSpec,
+    VarSpec,
+    event_trace,
+    generate_spec,
+    render_chart,
+    render_label,
+    render_source,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.fuzz.reference import EvaluationError, SpecEvaluator
+from repro.fuzz.oracle import (
+    CanaryMutation,
+    Divergence,
+    OracleHarness,
+    OracleResult,
+    RoundTripError,
+    apply_mutation,
+    ladder_rungs,
+    plant_canary,
+)
+from repro.fuzz.shrink import shrink_spec, spec_size
+from repro.fuzz.bisect import BisectVerdict, bisect_harness, first_true
+from repro.fuzz.campaign import (
+    FUZZ_REPORT_VERSION,
+    ChartOutcome,
+    FuzzCampaign,
+    FuzzReport,
+    replay_corpus,
+)
+
+__all__ = [
+    "BisectVerdict",
+    "CanaryMutation",
+    "ChartOutcome",
+    "ChartSpec",
+    "Divergence",
+    "EvaluationError",
+    "FUZZ_REPORT_VERSION",
+    "FuzzCampaign",
+    "FuzzReport",
+    "GeneratorConfig",
+    "OracleHarness",
+    "OracleResult",
+    "RoundTripError",
+    "RoutineSpec",
+    "SpecEvaluator",
+    "StateSpec",
+    "TransitionSpec",
+    "VarSpec",
+    "apply_mutation",
+    "bisect_harness",
+    "event_trace",
+    "first_true",
+    "generate_spec",
+    "ladder_rungs",
+    "plant_canary",
+    "render_chart",
+    "render_label",
+    "render_source",
+    "replay_corpus",
+    "shrink_spec",
+    "spec_from_json",
+    "spec_size",
+    "spec_to_json",
+]

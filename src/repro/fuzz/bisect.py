@@ -1,0 +1,85 @@
+"""Bisecting the stage ladder to the first guilty stage.
+
+The oracle's stage list is ordered (ladder rungs, then the snapshot and
+delta-chain continuations) and a persistent rung bug is *monotone*: once a
+stage diverges, every later stage inherits the bad system and diverges
+too.  That makes "which stage introduced it?" a textbook binary search —
+``first_true`` over the per-stage "does it diverge?" predicate — instead
+of a linear sweep that would rebuild and re-run every rung.
+
+The verdict re-checks both boundary stages (the guilty one must diverge,
+its predecessor must not), so a non-monotone divergence — which would
+break the search's assumption — is reported as unverified rather than
+silently mis-attributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.fuzz.oracle import Divergence, OracleHarness
+
+
+def first_true(count: int, predicate: Callable[[int], bool]) -> Optional[int]:
+    """Index of the first ``True`` in a monotone 0/1 sequence of length
+    *count*, or ``None`` if all ``False``.  O(log n) predicate calls."""
+    if count <= 0:
+        return None
+    lo, hi = 0, count - 1
+    if not predicate(hi):
+        return None
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if predicate(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+@dataclass
+class BisectVerdict:
+    """Outcome of one ladder bisection."""
+
+    guilty_stage: Optional[str]
+    divergence: Optional[Divergence]
+    stages_checked: List[str]
+    verified: bool
+
+    def to_json(self) -> dict:
+        return {
+            "guilty_stage": self.guilty_stage,
+            "divergence": (self.divergence.to_json()
+                           if self.divergence else None),
+            "stages_checked": list(self.stages_checked),
+            "verified": self.verified,
+        }
+
+
+def bisect_harness(harness: OracleHarness) -> BisectVerdict:
+    """Binary-search *harness*'s stage ladder for the first diverging stage.
+
+    Stage results are memoized, so the boundary verification reuses the
+    search's own probes.
+    """
+    names = harness.stage_names()
+    cache: Dict[int, Optional[Divergence]] = {}
+    checked: List[str] = []
+
+    def probe(index: int) -> Optional[Divergence]:
+        if index not in cache:
+            checked.append(names[index])
+            cache[index] = harness.run_stage(index)
+        return cache[index]
+
+    guilty = first_true(len(names), lambda i: probe(i) is not None)
+    if guilty is None:
+        return BisectVerdict(guilty_stage=None, divergence=None,
+                             stages_checked=checked, verified=True)
+    verified = probe(guilty) is not None and (
+        guilty == 0 or probe(guilty - 1) is None)
+    return BisectVerdict(guilty_stage=names[guilty],
+                         divergence=probe(guilty),
+                         stages_checked=checked,
+                         verified=verified)

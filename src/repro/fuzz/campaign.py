@@ -1,0 +1,336 @@
+"""Deterministic fuzz campaigns with a versioned, byte-stable report.
+
+Mirrors :class:`~repro.fault.campaign.FaultCampaign`: one top-level seed,
+per-chart seeds derived as ``seed * 7919 + index``, and a report whose
+canonical JSON serialization is byte-identical across same-seed runs (the
+CI ``fuzz-smoke`` job runs the campaign twice and ``cmp``s the files).
+
+Per chart the campaign (1) generates a spec, (2) asserts it lints
+error-free — the generator's contract, (3) runs the full oracle stage
+stack, and on divergence (4) bisects the ladder to the guilty stage and
+(5) shrinks the spec to a single-removal-minimal reproducer, recorded in
+the Fig. 2a textual format for the regression corpus.
+
+``--canary <stage>`` plants a deliberate retargeting mutation at the named
+stage in every chart where one fits; the CI canary job asserts at least
+one such mutation is detected, shrinks to ≤ 8 states and bisects to
+exactly the planted stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.flow.build import select_initial_architecture
+from repro.fuzz.bisect import bisect_harness
+from repro.fuzz.generator import (
+    ChartSpec,
+    GeneratorConfig,
+    generate_spec,
+    render_chart,
+    render_source,
+    spec_from_json,
+    spec_to_json,
+)
+from repro.fuzz.oracle import (
+    CanaryMutation,
+    Divergence,
+    OracleHarness,
+    RoundTripError,
+    plant_canary,
+)
+from repro.fuzz.shrink import shrink_spec, spec_size
+from repro.statechart.parser import emit_chart
+
+FUZZ_REPORT_VERSION = 1
+
+
+@dataclass
+class ChartOutcome:
+    """What happened to one generated chart."""
+
+    index: int
+    chart_seed: int
+    name: str
+    states: int
+    transitions: int
+    status: str  # clean | diverged | lint-error | roundtrip-error |
+    #              canary-unplantable
+    stages: List[str] = field(default_factory=list)
+    lint_errors: List[str] = field(default_factory=list)
+    divergence: Optional[Divergence] = None
+    guilty_stage: Optional[str] = None
+    bisect_verified: Optional[bool] = None
+    stages_checked: Optional[int] = None
+    shrunk_states: Optional[int] = None
+    shrunk_size: Optional[int] = None
+    shrunk_chart: Optional[str] = None
+    shrunk_spec: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "chart_seed": self.chart_seed,
+            "name": self.name,
+            "states": self.states,
+            "transitions": self.transitions,
+            "status": self.status,
+            "stages": list(self.stages),
+            "lint_errors": list(self.lint_errors),
+            "divergence": (self.divergence.to_json()
+                           if self.divergence else None),
+            "guilty_stage": self.guilty_stage,
+            "bisect_verified": self.bisect_verified,
+            "stages_checked": self.stages_checked,
+            "shrunk_states": self.shrunk_states,
+            "shrunk_size": self.shrunk_size,
+            "shrunk_chart": self.shrunk_chart,
+            "shrunk_spec": self.shrunk_spec,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The full campaign, canonically serializable."""
+
+    seed: int
+    charts: int
+    cycles: int
+    canary_stage: Optional[str]
+    outcomes: List[ChartOutcome] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(o.status in ("clean", "canary-unplantable")
+                   for o in self.outcomes)
+
+    def counts(self) -> dict:
+        tally: dict = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    def to_json(self) -> dict:
+        return {
+            "version": FUZZ_REPORT_VERSION,
+            "seed": self.seed,
+            "charts": self.charts,
+            "cycles": self.cycles,
+            "canary_stage": self.canary_stage,
+            "counts": self.counts(),
+            "outcomes": [outcome.to_json() for outcome in self.outcomes],
+        }
+
+    def dumps(self) -> str:
+        """Canonical byte-stable serialization (sorted keys, LF-ended)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        from repro.flow import ascii_table
+
+        rows = [
+            (outcome.index, outcome.chart_seed, outcome.states,
+             outcome.transitions, outcome.status,
+             outcome.divergence.stage if outcome.divergence else "-",
+             outcome.guilty_stage or "-",
+             outcome.shrunk_states if outcome.shrunk_states is not None
+             else "-")
+            for outcome in self.outcomes
+        ]
+        return ascii_table(
+            ["#", "Seed", "States", "Trans", "Status", "Diverged at",
+             "Guilty stage", "Shrunk states"],
+            rows,
+            title=(f"Fuzz campaign: seed {self.seed}, "
+                   f"{self.charts} chart(s), {self.cycles} cycles"
+                   + (f", canary at {self.canary_stage}"
+                      if self.canary_stage else "")))
+
+
+class FuzzCampaign:
+    """Seeded differential campaign over generated charts."""
+
+    def __init__(self, seed: int = 1, charts: int = 50, cycles: int = 40,
+                 config: Optional[GeneratorConfig] = None,
+                 max_rungs: Optional[int] = None,
+                 canary_stage: Optional[str] = None,
+                 shrink: bool = True) -> None:
+        self.seed = seed
+        self.charts = charts
+        self.cycles = cycles
+        self.config = config if config is not None else GeneratorConfig()
+        self.max_rungs = max_rungs
+        self.canary_stage = canary_stage
+        self.shrink = shrink
+
+    # ------------------------------------------------------------------
+    def run(self) -> FuzzReport:
+        report = FuzzReport(seed=self.seed, charts=self.charts,
+                            cycles=self.cycles,
+                            canary_stage=self.canary_stage)
+        for index in range(self.charts):
+            chart_seed = self.seed * 7919 + index
+            spec = generate_spec(chart_seed, self.config)
+            report.outcomes.append(self._run_one(index, chart_seed, spec))
+        return report
+
+    def _run_one(self, index: int, chart_seed: int,
+                 spec: ChartSpec) -> ChartOutcome:
+        outcome = ChartOutcome(
+            index=index, chart_seed=chart_seed, name=spec.name,
+            states=len(spec.states()), transitions=len(spec.transitions),
+            status="clean")
+
+        chart = render_chart(spec)
+        source = render_source(spec)
+        lint = _lint(chart, source)
+        if lint:
+            outcome.status = "lint-error"
+            outcome.lint_errors = lint
+            return outcome
+
+        mutation: Optional[CanaryMutation] = None
+        if self.canary_stage is not None:
+            mutation = plant_canary(spec, stage=self.canary_stage,
+                                    cycles=self.cycles)
+            if mutation is None:
+                outcome.status = "canary-unplantable"
+                return outcome
+
+        harness = OracleHarness(spec, cycles=self.cycles,
+                                max_rungs=self.max_rungs,
+                                mutation=mutation)
+        try:
+            result = harness.run_all(stop_at_first=True)
+        except RoundTripError as exc:
+            outcome.status = "roundtrip-error"
+            outcome.lint_errors = [str(exc)]
+            return outcome
+        outcome.stages = result.stages
+        if result.clean:
+            return outcome
+
+        outcome.status = "diverged"
+        outcome.divergence = result.first_divergence
+
+        verdict = bisect_harness(harness)
+        outcome.guilty_stage = verdict.guilty_stage
+        outcome.bisect_verified = verdict.verified
+        outcome.stages_checked = len(verdict.stages_checked)
+
+        if self.shrink:
+            shrunk = shrink_spec(
+                spec, self._predicate(outcome.divergence, mutation))
+            outcome.shrunk_states = len(shrunk.states())
+            outcome.shrunk_size = spec_size(shrunk)
+            outcome.shrunk_chart = emit_chart(render_chart(shrunk))
+            outcome.shrunk_spec = spec_to_json(shrunk)
+        return outcome
+
+    def _predicate(self, original: Divergence,
+                   mutation: Optional[CanaryMutation]):
+        """"Still the same bug": diverges at the same stage on the same
+        field.  Build crashes surface as ``field="build"`` and are thereby
+        rejected unless the original divergence was itself a build crash."""
+
+        def predicate(candidate: ChartSpec) -> bool:
+            harness = OracleHarness(candidate, cycles=self.cycles,
+                                    max_rungs=self.max_rungs,
+                                    mutation=mutation)
+            names = harness.stage_names()
+            if original.stage not in names:
+                return False
+            divergence = harness.run_stage(names.index(original.stage))
+            return (divergence is not None
+                    and divergence.stage == original.stage
+                    and divergence.field == original.field)
+
+        return predicate
+
+
+def _lint(chart, source) -> List[str]:
+    """Error-severity diagnostics for one rendered chart, as strings."""
+    from repro.analysis import lint_system
+
+    arch = select_initial_architecture(chart, source)
+    result = lint_system(chart, source, arch)
+    return [diag.format() for diag in result.diagnostics
+            if diag.severity.value == "error"]
+
+
+# ---------------------------------------------------------------------------
+# regression corpus replay
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReplayResult:
+    name: str
+    ok: bool
+    detail: str
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+def replay_corpus(directory: str,
+                  cycles_default: int = 40) -> List[ReplayResult]:
+    """Re-run every corpus entry and check its recorded expectation.
+
+    Entry format (one JSON object per ``*.json`` file)::
+
+        {"version": 1, "name": ..., "spec": {...}, "cycles": N,
+         "mutation": {...} | null,
+         "expect": {"clean": true} | {"stage": ..., "field": ...}}
+
+    A clean entry must stay divergence-free on every stage; a diverging
+    entry must still be caught and bisect to the recorded stage.
+    """
+    results: List[ReplayResult] = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            doc = json.load(handle)
+        name = doc.get("name", filename)
+        spec = spec_from_json(doc["spec"])
+        cycles = doc.get("cycles", cycles_default)
+        mutation = (CanaryMutation.from_json(doc["mutation"])
+                    if doc.get("mutation") else None)
+        expect = doc.get("expect", {"clean": True})
+        harness = OracleHarness(spec, cycles=cycles, mutation=mutation)
+        try:
+            if expect.get("clean"):
+                result = harness.run_all(stop_at_first=True)
+                if result.clean:
+                    results.append(ReplayResult(name, True, "clean"))
+                else:
+                    results.append(ReplayResult(
+                        name, False, result.first_divergence.describe()))
+            else:
+                verdict = bisect_harness(harness)
+                if verdict.guilty_stage is None:
+                    results.append(ReplayResult(
+                        name, False, "expected divergence not reproduced"))
+                elif verdict.guilty_stage != expect.get("stage"):
+                    results.append(ReplayResult(
+                        name, False,
+                        f"bisected to {verdict.guilty_stage!r}, expected "
+                        f"{expect.get('stage')!r}"))
+                elif (expect.get("field") is not None
+                      and verdict.divergence.field != expect["field"]):
+                    results.append(ReplayResult(
+                        name, False,
+                        f"diverged on {verdict.divergence.field!r}, "
+                        f"expected {expect['field']!r}"))
+                else:
+                    results.append(ReplayResult(
+                        name, True,
+                        f"caught at {verdict.guilty_stage}"))
+        except Exception as exc:  # noqa: BLE001 — replay must not abort
+            results.append(ReplayResult(
+                name, False, f"{type(exc).__name__}: {exc}"))
+    return results

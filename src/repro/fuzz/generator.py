@@ -1,0 +1,793 @@
+"""Seeded random chart generator with real action routines.
+
+Pure ``random.Random`` — no Hypothesis at runtime — producing well-formed
+hierarchical OR/AND charts whose transitions carry action routines in the
+intermediate C dialect (typed variables, width-annotated arithmetic,
+condition/event raises, port writes).  Every emitted chart is guaranteed to
+pass ``repro lint`` error-free and to behave *identically* on every
+improvement-ladder rung, which is what makes it usable as differential-
+oracle input.
+
+Cross-rung identity is not free: the TEP masks single-word arithmetic at
+the **bus** width (8 or 16 bits), not at the declared type width, so an
+overflowing ``uint:8`` sum yields different stored values on an 8-bit and a
+16-bit machine.  The generator therefore tracks a conservative ``[lo, hi]``
+interval for every expression node and only emits operations whose exact
+mathematical result is representable on every rung:
+
+* 8-bit expressions keep every intermediate value in ``[0, 255]``;
+* 16-bit expressions keep every intermediate value in ``[0, 65535]``;
+* subtraction is emitted only when ``lo(left) >= hi(right)`` (no borrow);
+* ordered comparisons compile to a sign-flag test of a bus-width
+  subtraction, so they are emitted only when both operands stay below
+  half the *narrowest* bus range (``< 128`` for 8-bit expressions,
+  ``< 16384`` for 16-bit ones); ``==``/``!=`` are always safe;
+* division, modulo, negation, bitwise NOT and variable shift amounts are
+  never emitted (their results are bus-width-dependent); shifts use small
+  constant amounts with an overflow check.
+
+Determinism-sensitive lint errors are avoided by construction: along any
+chain of ancestrally-related transition sources, every transition uses a
+distinct trigger event (so no enabling condition can *cover* another —
+PSC201), and a routine may only ``Raise`` events with a strictly greater
+declaration index than its own trigger (the trigger->raised graph is a DAG,
+so no PSC204 quiescence cycle).
+
+The generator emits an intermediate :class:`ChartSpec` — a JSON-serializable
+description from which :func:`render_chart` / :func:`render_source` produce
+the :class:`~repro.statechart.model.Chart` and the routine program.  The
+shrinker mutates specs, the corpus stores specs, and the reference
+evaluator (:mod:`repro.fuzz.reference`) executes spec routine bodies with
+exact integer semantics.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.statechart.builder import ChartBuilder
+from repro.statechart.model import Chart
+
+#: value caps per expression width: every node's exact value must fit
+_MAXV = {8: 255, 16: 65535}
+#: ordered-comparison operand cap: |a - b| must stay below 2**(width-1)
+_ORDERED_CAP = {8: 127, 16: 16383}
+
+
+# ---------------------------------------------------------------------------
+# spec dataclasses
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VarSpec:
+    """A global (or local) variable with its range invariant ``[0, cap]``."""
+
+    name: str
+    width: int          # 8 or 16
+    cap: int            # inclusive maximum (2**k - 1)
+    init: int
+
+    def to_json(self) -> Dict[str, int]:
+        return {"name": self.name, "width": self.width,
+                "cap": self.cap, "init": self.init}
+
+
+@dataclass
+class StateSpec:
+    """One node of the state tree; ``kind`` is basic / or / and."""
+
+    name: str
+    kind: str
+    children: List["StateSpec"] = field(default_factory=list)
+    default: Optional[str] = None
+
+    def to_json(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {"name": self.name, "kind": self.kind}
+        if self.children:
+            doc["children"] = [c.to_json() for c in self.children]
+        if self.default is not None:
+            doc["default"] = self.default
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "StateSpec":
+        return cls(name=doc["name"], kind=doc["kind"],
+                   children=[cls.from_json(c)
+                             for c in doc.get("children", [])],
+                   default=doc.get("default"))
+
+
+@dataclass
+class TransitionSpec:
+    """source --trigger [guard]/routine()--> target."""
+
+    source: str
+    target: str
+    trigger: str
+    guard: Optional[Tuple[str, bool]] = None   # (condition, negated)
+    routine: Optional[str] = None
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.source, self.target, self.trigger)
+
+    def to_json(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {"source": self.source,
+                                  "target": self.target,
+                                  "trigger": self.trigger}
+        if self.guard is not None:
+            doc["guard"] = [self.guard[0], self.guard[1]]
+        if self.routine is not None:
+            doc["routine"] = self.routine
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "TransitionSpec":
+        guard = doc.get("guard")
+        return cls(source=doc["source"], target=doc["target"],
+                   trigger=doc["trigger"],
+                   guard=(guard[0], bool(guard[1])) if guard else None,
+                   routine=doc.get("routine"))
+
+
+@dataclass
+class RoutineSpec:
+    """A routine body: a list of statement nodes (JSON-friendly lists).
+
+    Statements::
+
+        ["local", name, width, cap, expr]
+        ["assign", name, expr]
+        ["if", bool, [then...], [else...]]
+        ["settrue", cond] / ["setfalse", cond]
+        ["raise", event]
+        ["writeport", port, expr]
+
+    Expressions::
+
+        ["lit", v] | ["var", name] | ["readport", port]
+        ["bin", op, a, b]            op in + - * & | ^
+        ["shl", a, k] | ["shr", a, k]
+
+    Booleans::
+
+        ["test", cond] | ["cmp", op, a, b] | ["not", b]
+        ["and", a, b] | ["or", a, b]
+    """
+
+    name: str
+    body: List[list] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        # deep-copy so serialized documents never alias the live body
+        # lists — the shrinker mutates candidate copies in place
+        return {"name": self.name, "body": copy.deepcopy(self.body)}
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "RoutineSpec":
+        return cls(name=doc["name"], body=copy.deepcopy(doc["body"]))
+
+
+@dataclass
+class ChartSpec:
+    """Everything needed to render one fuzz chart + its routine program."""
+
+    name: str
+    events: List[str]
+    conditions: List[Tuple[str, bool]]      # (name, initial)
+    ports: List[str]
+    root: StateSpec                          # virtual container (not emitted)
+    transitions: List[TransitionSpec]
+    variables: List[VarSpec]
+    routines: Dict[str, RoutineSpec]
+    seed: Optional[int] = None
+
+    # -- queries -----------------------------------------------------------
+    def states(self) -> List[StateSpec]:
+        """All real states (virtual root excluded) in tree preorder."""
+        out: List[StateSpec] = []
+
+        def walk(state: StateSpec) -> None:
+            out.append(state)
+            for child in state.children:
+                walk(child)
+
+        for child in self.root.children:
+            walk(child)
+        return out
+
+    def state_names(self) -> List[str]:
+        return [s.name for s in self.states()]
+
+    def parent_map(self) -> Dict[str, Optional[str]]:
+        parents: Dict[str, Optional[str]] = {}
+
+        def walk(state: StateSpec, parent: Optional[str]) -> None:
+            parents[state.name] = parent
+            for child in state.children:
+                walk(child, state.name)
+
+        for child in self.root.children:
+            walk(child, None)
+        return parents
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": list(self.events),
+            "conditions": [[n, bool(i)] for n, i in self.conditions],
+            "ports": list(self.ports),
+            "root": self.root.to_json(),
+            "transitions": [t.to_json() for t in self.transitions],
+            "variables": [v.to_json() for v in self.variables],
+            "routines": [self.routines[name].to_json()
+                         for name in self.routines],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "ChartSpec":
+        routines = {r["name"]: RoutineSpec.from_json(r)
+                    for r in doc.get("routines", [])}
+        return cls(
+            name=doc["name"],
+            seed=doc.get("seed"),
+            events=list(doc["events"]),
+            conditions=[(n, bool(i)) for n, i in doc["conditions"]],
+            ports=list(doc["ports"]),
+            root=StateSpec.from_json(doc["root"]),
+            transitions=[TransitionSpec.from_json(t)
+                         for t in doc["transitions"]],
+            variables=[VarSpec(**v) for v in doc["variables"]],
+            routines=routines,
+        )
+
+
+def spec_to_json(spec: ChartSpec) -> Dict[str, object]:
+    return spec.to_json()
+
+
+def spec_from_json(doc: Dict[str, object]) -> ChartSpec:
+    return ChartSpec.from_json(doc)
+
+
+# ---------------------------------------------------------------------------
+# rendering: spec -> Chart / routine source / labels
+# ---------------------------------------------------------------------------
+
+def render_label(transition: TransitionSpec) -> str:
+    label = transition.trigger
+    if transition.guard is not None:
+        condition, negated = transition.guard
+        label += f" [{'not ' if negated else ''}{condition}]"
+    if transition.routine is not None:
+        label += f"/{transition.routine}()"
+    return label
+
+
+def render_chart(spec: ChartSpec) -> Chart:
+    """Build the :class:`Chart`; transitions are added grouped by source in
+    tree preorder so ``parse(emit_chart(chart))`` preserves every
+    ``Transition.index`` (the priority tie-breaker)."""
+    builder = ChartBuilder(spec.name)
+    for event in spec.events:
+        builder.event(event)
+    for condition, initial in spec.conditions:
+        builder.condition(condition, initial=initial)
+    for port in spec.ports:
+        from repro.statechart.model import PortDirection, PortKind
+
+        builder.port(port, PortKind.DATA, width=8,
+                     direction=PortDirection.BIDIRECTIONAL)
+
+    def emit(state: StateSpec) -> None:
+        if state.kind == "basic":
+            builder.basic(state.name)
+        elif state.kind == "or":
+            with builder.or_state(state.name, default=state.default):
+                for child in state.children:
+                    emit(child)
+        elif state.kind == "and":
+            with builder.and_state(state.name):
+                for child in state.children:
+                    emit(child)
+        else:  # pragma: no cover - spec corruption
+            raise ValueError(f"unknown state kind {state.kind!r}")
+
+    for child in spec.root.children:
+        emit(child)
+
+    order = {name: index for index, name in enumerate(spec.state_names())}
+    for transition in sorted(
+            spec.transitions,
+            key=lambda t: order.get(t.source, len(order))):
+        builder._pending.append((transition.source, transition.target,
+                                 render_label(transition), None))
+    return builder.build(validate=False)
+
+
+def _render_expr(node: list) -> str:
+    kind = node[0]
+    if kind == "lit":
+        return str(node[1])
+    if kind == "var":
+        return node[1]
+    if kind == "readport":
+        return f"ReadPort({node[1]})"
+    if kind == "bin":
+        return f"({_render_expr(node[2])} {node[1]} {_render_expr(node[3])})"
+    if kind == "shl":
+        return f"({_render_expr(node[1])} << {node[2]})"
+    if kind == "shr":
+        return f"({_render_expr(node[1])} >> {node[2]})"
+    raise ValueError(f"unknown expr node {node!r}")
+
+
+def _render_bool(node: list) -> str:
+    kind = node[0]
+    if kind == "test":
+        return f"Test({node[1]})"
+    if kind == "cmp":
+        return f"({_render_expr(node[2])} {node[1]} {_render_expr(node[3])})"
+    if kind == "not":
+        return f"(!{_render_bool(node[1])})"
+    if kind in ("and", "or"):
+        op = "&&" if kind == "and" else "||"
+        return f"({_render_bool(node[1])} {op} {_render_bool(node[2])})"
+    raise ValueError(f"unknown bool node {node!r}")
+
+
+def _render_stmt(node: list, indent: str) -> List[str]:
+    kind = node[0]
+    if kind == "local":
+        _, name, width, _cap, expr = node
+        return [f"{indent}uint:{width} {name} = {_render_expr(expr)};"]
+    if kind == "assign":
+        return [f"{indent}{node[1]} = {_render_expr(node[2])};"]
+    if kind == "if":
+        lines = [f"{indent}if ({_render_bool(node[1])}) {{"]
+        for stmt in node[2]:
+            lines += _render_stmt(stmt, indent + "  ")
+        if node[3]:
+            lines.append(f"{indent}}} else {{")
+            for stmt in node[3]:
+                lines += _render_stmt(stmt, indent + "  ")
+        lines.append(f"{indent}}}")
+        return lines
+    if kind == "settrue":
+        return [f"{indent}SetTrue({node[1]});"]
+    if kind == "setfalse":
+        return [f"{indent}SetFalse({node[1]});"]
+    if kind == "raise":
+        return [f"{indent}Raise({node[1]});"]
+    if kind == "writeport":
+        return [f"{indent}WritePort({node[1]}, {_render_expr(node[2])});"]
+    raise ValueError(f"unknown stmt node {node!r}")
+
+
+def render_source(spec: ChartSpec) -> str:
+    """Render the routine program in the intermediate C dialect."""
+    lines: List[str] = []
+    for variable in spec.variables:
+        lines.append(f"uint:{variable.width} {variable.name} = "
+                     f"{variable.init};")
+    if spec.variables:
+        lines.append("")
+    for name in spec.routines:
+        routine = spec.routines[name]
+        lines.append(f"void {routine.name}() {{")
+        for stmt in routine.body:
+            lines += _render_stmt(stmt, "  ")
+        lines.append("}")
+        lines.append("")
+    if not spec.routines:
+        lines.append("void FuzzNop() { }")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# generation config
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GeneratorConfig:
+    """Size/feature knobs; defaults keep a chart CI-sized (~4-14 states)."""
+
+    min_events: int = 2
+    max_events: int = 4
+    min_conditions: int = 1
+    max_conditions: int = 3
+    min_ports: int = 1
+    max_ports: int = 2
+    min_top: int = 1
+    max_top: int = 3
+    max_depth: int = 2
+    max_states: int = 14
+    max_extra_transitions: int = 4
+    p_guard: float = 0.5
+    p_action: float = 0.8
+    #: False renders every routine as an empty body (chart-shape-only mode,
+    #: used by the Hypothesis property test's effect-free variant)
+    effects: bool = True
+    max_statements: int = 4
+    max_expr_depth: int = 3
+    p_sixteen_bit: float = 0.6
+
+
+# ---------------------------------------------------------------------------
+# expression / statement generation with range tracking
+# ---------------------------------------------------------------------------
+
+class _RoutineGen:
+    """Generates one routine body under the cross-rung safety invariants."""
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig,
+                 variables: Sequence[VarSpec], conditions: Sequence[str],
+                 events: Sequence[str], ports: Sequence[str],
+                 trigger_index: int, local_prefix: str) -> None:
+        self.rng = rng
+        self.config = config
+        self.conditions = list(conditions)
+        self.events = list(events)
+        self.ports = list(ports)
+        self.trigger_index = trigger_index
+        self.local_prefix = local_prefix
+        #: visible integer variables: name -> (width, lo, hi)
+        self.env: Dict[str, Tuple[int, int, int]] = {
+            v.name: (v.width, 0, v.cap) for v in variables}
+        self._local_count = 0
+
+    # -- expressions -------------------------------------------------------
+    def _leaf(self, width: int) -> Tuple[list, int, int]:
+        rng = self.rng
+        choices = ["lit"]
+        vars_of_width = [name for name, (w, _, _) in self.env.items()
+                         if w == width]
+        if vars_of_width:
+            choices += ["var", "var"]      # prefer variables over literals
+        if width == 8 and self.ports:
+            choices.append("readport")
+        kind = rng.choice(choices)
+        if kind == "var":
+            name = rng.choice(vars_of_width)
+            _, lo, hi = self.env[name]
+            return ["var", name], lo, hi
+        if kind == "readport":
+            return ["readport", rng.choice(self.ports)], 0, 255
+        cap = 63 if width == 8 else 8191
+        value = rng.randint(0, cap)
+        return ["lit", value], value, value
+
+    def expr(self, width: int, depth: int) -> Tuple[list, int, int]:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            return self._leaf(width)
+        maxv = _MAXV[width]
+        if rng.random() < 0.2:
+            # constant shift of a single child
+            child, lo, hi = self.expr(width, depth - 1)
+            amount = rng.randint(1, 3)
+            if rng.random() < 0.5 and (hi << amount) <= maxv:
+                return ["shl", child, amount], lo << amount, hi << amount
+            return ["shr", child, amount], lo >> amount, hi >> amount
+        a, la, ha = self.expr(width, depth - 1)
+        b, lb, hb = self.expr(width, depth - 1)
+        or_hi = (1 << max(ha.bit_length(), hb.bit_length())) - 1
+        candidates: List[Tuple[str, int, int]] = [
+            ("&", 0, min(ha, hb)),
+            ("|", max(la, lb), or_hi),
+            ("^", 0, or_hi),
+        ]
+        if ha + hb <= maxv:
+            candidates.append(("+", la + lb, ha + hb))
+        if la >= hb:
+            candidates.append(("-", la - hb, ha - lb))
+        if ha * hb <= maxv:
+            candidates.append(("*", la * lb, ha * hb))
+        op, lo, hi = rng.choice(candidates)
+        return ["bin", op, a, b], lo, hi
+
+    def coerced(self, width: int, cap: int, depth: int) -> list:
+        """An expression whose value provably fits ``[0, cap]``."""
+        node, _, hi = self.expr(width, depth)
+        if hi <= cap:
+            return node
+        return ["bin", "&", node, ["lit", cap]]
+
+    # -- booleans ----------------------------------------------------------
+    def _simple_leaf(self, width: int) -> list:
+        """A variable or literal leaf — never ``ReadPort`` — so the operand
+        stays ``is_simple`` for the comparator pattern matcher."""
+        rng = self.rng
+        vars_of_width = [name for name, (w, _, _) in self.env.items()
+                         if w == width]
+        if vars_of_width and rng.random() < 0.7:
+            return ["var", rng.choice(vars_of_width)]
+        return ["lit", rng.randint(0, 63 if width == 8 else 8191)]
+
+    def cmp_simple(self) -> list:
+        """A bare ``a == b`` / ``a != b`` between simple same-width leaves —
+        exactly the shape ``find_comparator_sites`` promotes to comparator
+        hardware, so the ladder's ``patterns`` rung gets exercised."""
+        rng = self.rng
+        widths = sorted({w for w, _, _ in self.env.values()} | {8})
+        width = rng.choice(widths)
+        return ["cmp", rng.choice(["==", "!="]),
+                self._simple_leaf(width), self._simple_leaf(width)]
+
+    def boolean(self, depth: int) -> list:
+        rng = self.rng
+        roll = rng.random()
+        if depth > 0 and roll < 0.25:
+            return ["not", self.boolean(depth - 1)]
+        if depth > 0 and roll < 0.45:
+            kind = "and" if rng.random() < 0.5 else "or"
+            return [kind, self.boolean(depth - 1), self.boolean(depth - 1)]
+        if self.conditions and roll < 0.65:
+            return ["test", rng.choice(self.conditions)]
+        widths = sorted({w for w, _, _ in self.env.values()} | {8})
+        width = rng.choice(widths)
+        a, _, ha = self.expr(width, depth)
+        b, _, hb = self.expr(width, depth)
+        cap = _ORDERED_CAP[width]
+        ops = ["==", "!="]
+        if ha <= cap and hb <= cap:
+            ops += ["<", "<=", ">", ">="]
+        return ["cmp", rng.choice(ops), a, b]
+
+    # -- statements --------------------------------------------------------
+    def _writable(self) -> List[str]:
+        return sorted(self.env)
+
+    def statement(self, depth: int) -> list:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.35:
+            name = rng.choice(self._writable())
+            width, _, cap = (self.env[name][0], self.env[name][1],
+                             self.env[name][2])
+            return ["assign", name,
+                    self.coerced(width, cap, self.config.max_expr_depth)]
+        if roll < 0.55 and depth < 2:
+            then_branch = [self.statement(depth + 1)
+                           for _ in range(rng.randint(1, 2))]
+            else_branch = ([self.statement(depth + 1)]
+                           if rng.random() < 0.5 else [])
+            cond = (self.cmp_simple() if rng.random() < 0.4
+                    else self.boolean(2))
+            return ["if", cond, then_branch, else_branch]
+        if roll < 0.70 and self.conditions:
+            kind = "settrue" if rng.random() < 0.5 else "setfalse"
+            return [kind, rng.choice(self.conditions)]
+        if roll < 0.80:
+            raisable = self.events[self.trigger_index + 1:]
+            if raisable:
+                return ["raise", rng.choice(raisable)]
+        if self.ports:
+            port = rng.choice(self.ports)
+            return ["writeport", port,
+                    self.coerced(8, 255, self.config.max_expr_depth)]
+        name = rng.choice(self._writable())
+        width, _, cap = (self.env[name][0], self.env[name][1],
+                         self.env[name][2])
+        return ["assign", name,
+                self.coerced(width, cap, self.config.max_expr_depth)]
+
+    def body(self) -> List[list]:
+        rng = self.rng
+        statements: List[list] = []
+        for _ in range(rng.randint(0, 2)):
+            width = 16 if (rng.random() < 0.3 and any(
+                w == 16 for w, _, _ in self.env.values())) else 8
+            cap = ((1 << rng.randint(4, 6)) - 1 if width == 8
+                   else (1 << rng.randint(8, 13)) - 1)
+            name = f"{self.local_prefix}t{self._local_count}"
+            self._local_count += 1
+            statements.append(
+                ["local", name, width, cap,
+                 self.coerced(width, cap, self.config.max_expr_depth)])
+            self.env[name] = (width, 0, cap)
+        for _ in range(rng.randint(1, self.config.max_statements)):
+            statements.append(self.statement(0))
+        return statements
+
+
+# ---------------------------------------------------------------------------
+# chart generation
+# ---------------------------------------------------------------------------
+
+def _make_tree(rng: random.Random, config: GeneratorConfig
+               ) -> Tuple[StateSpec, List[StateSpec]]:
+    """The state tree (virtual root + units) plus the list of OR scopes."""
+    counter = [0]
+
+    def next_name() -> str:
+        counter[0] += 1
+        return f"S{counter[0] - 1}"
+
+    remaining = [rng.randint(4, config.max_states)]
+
+    def make_state(depth: int, force_composite: bool = False) -> StateSpec:
+        name = next_name()
+        remaining[0] -= 1
+        can_or = depth < config.max_depth and remaining[0] >= 2
+        can_and = depth < config.max_depth and remaining[0] >= 6
+        roll = rng.random()
+        if can_and and (roll < 0.25 or (force_composite and roll < 0.5)):
+            regions = []
+            for _ in range(2):
+                region_name = next_name()
+                remaining[0] -= 1
+                n_basic = rng.randint(2, 3)
+                kids = []
+                for _ in range(n_basic):
+                    kids.append(StateSpec(next_name(), "basic"))
+                    remaining[0] -= 1
+                regions.append(StateSpec(region_name, "or", kids,
+                                         kids[0].name))
+            return StateSpec(name, "and", regions)
+        if can_or and (roll < 0.80 or force_composite):
+            n_children = rng.randint(2, 3)
+            kids = [make_state(depth + 1) for _ in range(n_children)]
+            return StateSpec(name, "or", kids, kids[0].name)
+        return StateSpec(name, "basic")
+
+    n_top = rng.randint(config.min_top, config.max_top)
+    units = [make_state(0, force_composite=(n_top == 1))
+             for _ in range(n_top)]
+    root = StateSpec("__top__", "or", units,
+                     units[0].name if units else None)
+
+    scopes: List[StateSpec] = []
+
+    def collect(state: StateSpec) -> None:
+        if state.kind == "or" and len(state.children) >= 2:
+            scopes.append(state)
+        for child in state.children:
+            collect(child)
+
+    if len(root.children) >= 2:
+        scopes.append(root)
+    for unit in root.children:
+        collect(unit)
+    return root, scopes
+
+
+def _chain_events(spec_transitions: Sequence[TransitionSpec], source: str,
+                  parents: Dict[str, Optional[str]],
+                  descendants: Dict[str, FrozenSet[str]]) -> FrozenSet[str]:
+    """Trigger events already used along *source*'s ancestor/descendant
+    chain (the PSC201 exclusion set)."""
+    chain = {source}
+    node = parents.get(source)
+    while node is not None:
+        chain.add(node)
+        node = parents.get(node)
+    chain |= descendants.get(source, frozenset())
+    return frozenset(t.trigger for t in spec_transitions
+                     if t.source in chain)
+
+
+def generate_spec(seed: int,
+                  config: Optional[GeneratorConfig] = None) -> ChartSpec:
+    """Generate one seeded chart spec (deterministic in *seed*)."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+
+    n_events = rng.randint(config.min_events, config.max_events)
+    events = [f"E{i}" for i in range(n_events)]
+    n_conditions = rng.randint(config.min_conditions, config.max_conditions)
+    conditions = [(f"C{i}", rng.random() < 0.5)
+                  for i in range(n_conditions)]
+    n_ports = rng.randint(config.min_ports, config.max_ports)
+    ports = [f"P{i}" for i in range(n_ports)]
+
+    variables: List[VarSpec] = []
+    for i in range(rng.randint(1, 3)):
+        cap = (1 << rng.randint(4, 6)) - 1
+        variables.append(VarSpec(f"g{i}", 8, cap, rng.randint(0, cap)))
+    if rng.random() < config.p_sixteen_bit:
+        for i in range(rng.randint(1, 2)):
+            cap = (1 << rng.randint(8, 13)) - 1
+            variables.append(VarSpec(f"h{i}", 16, cap, rng.randint(0, cap)))
+
+    root, scopes = _make_tree(rng, config)
+    spec = ChartSpec(name=f"fuzz{seed}", events=events,
+                     conditions=conditions, ports=ports, root=root,
+                     transitions=[], variables=variables, routines={},
+                     seed=seed)
+    parents = spec.parent_map()
+    all_states = spec.states()
+    descendants: Dict[str, FrozenSet[str]] = {}
+
+    def collect_descendants(state: StateSpec) -> FrozenSet[str]:
+        names = set()
+        for child in state.children:
+            names.add(child.name)
+            names |= collect_descendants(child)
+        descendants[state.name] = frozenset(names)
+        return descendants[state.name]
+
+    for unit in root.children:
+        collect_descendants(unit)
+
+    event_index = {name: i for i, name in enumerate(events)}
+
+    def attach_routine(transition: TransitionSpec) -> None:
+        if rng.random() >= config.p_action:
+            return
+        name = f"Act{len(spec.routines)}"
+        if config.effects:
+            gen = _RoutineGen(rng, config, variables,
+                              [c for c, _ in conditions], events, ports,
+                              event_index[transition.trigger],
+                              local_prefix=f"{name}_")
+            spec.routines[name] = RoutineSpec(name, gen.body())
+        else:
+            spec.routines[name] = RoutineSpec(name, [])
+        transition.routine = name
+
+    def add_transition(source: str, target: str) -> bool:
+        used = _chain_events(spec.transitions, source, parents, descendants)
+        free = [e for e in events if e not in used]
+        if not free:
+            return False
+        transition = TransitionSpec(source, target, rng.choice(free))
+        if rng.random() < config.p_guard:
+            condition, _ = conditions[rng.randrange(len(conditions))]
+            transition.guard = (condition, rng.random() < 0.5)
+        attach_routine(transition)
+        spec.transitions.append(transition)
+        return True
+
+    # ring transitions keep every sibling reachable
+    for scope in scopes:
+        children = scope.children
+        for i, child in enumerate(children):
+            add_transition(child.name,
+                           children[(i + 1) % len(children)].name)
+
+    # extra edges: self-loops, cross-hierarchy jumps, composite targets
+    names = [s.name for s in all_states]
+    ancestor_sets = {}
+    for name in names:
+        chain = set()
+        node = parents.get(name)
+        while node is not None:
+            chain.add(node)
+            node = parents.get(node)
+        ancestor_sets[name] = chain
+    for _ in range(rng.randint(0, config.max_extra_transitions)):
+        source = rng.choice(names)
+        candidates = [n for n in names
+                      if n not in ancestor_sets[source]]
+        if not candidates:
+            continue
+        add_transition(source, rng.choice(candidates))
+
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# event traces
+# ---------------------------------------------------------------------------
+
+def event_trace(seed: int, events: Sequence[str],
+                cycles: int) -> List[FrozenSet[str]]:
+    """A seeded external-event trace: quiet cycles, single events and
+    occasional simultaneous pairs."""
+    rng = random.Random(seed)
+    trace: List[FrozenSet[str]] = []
+    pool = list(events)
+    for _ in range(cycles):
+        roll = rng.random()
+        if not pool or roll < 0.30:
+            trace.append(frozenset())
+        elif roll < 0.85 or len(pool) == 1:
+            trace.append(frozenset([rng.choice(pool)]))
+        else:
+            trace.append(frozenset(rng.sample(pool, 2)))
+    return trace

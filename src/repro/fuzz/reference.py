@@ -1,0 +1,154 @@
+"""Reference executor for generated action routines.
+
+The differential oracle needs two *independent* implementations of every
+generated routine: the machine side compiles the rendered intermediate-C
+text through the checker, code generator and TEP simulator; this side
+interprets the :class:`~repro.fuzz.generator.RoutineSpec` statement nodes
+directly with exact Python integers.
+
+Exactness is the contract: the generator only emits arithmetic whose exact
+mathematical value fits the expression width on every bus width (see
+:mod:`repro.fuzz.generator`), so this evaluator performs **no masking** —
+if a value ever leaves ``[0, 65535]`` that is a generator bug and raises
+:class:`EvaluationError` instead of silently wrapping into something one
+particular rung happens to agree with.
+
+Handlers plug into :class:`repro.statechart.semantics.Interpreter` via its
+``actions`` mapping; conditions and events flow through the interpreter's
+CR model (same-cycle condition visibility, next-cycle event visibility),
+while ports and global variables live here, mirroring the machine's
+``PortBus`` latches and data memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.fuzz.generator import ChartSpec
+
+
+class EvaluationError(Exception):
+    """An invariant the generator promised was violated at evaluation time."""
+
+
+class SpecEvaluator:
+    """Executes spec routine bodies as interpreter action handlers."""
+
+    def __init__(self, spec: ChartSpec) -> None:
+        self.spec = spec
+        self.globals: Dict[str, int] = {v.name: v.init
+                                        for v in spec.variables}
+        self.ports: Dict[str, int] = {p: 0 for p in spec.ports}
+
+    def reset(self) -> None:
+        self.globals = {v.name: v.init for v in self.spec.variables}
+        self.ports = {p: 0 for p in self.spec.ports}
+
+    # -- expression evaluation ---------------------------------------------
+    def _value(self, node: list, scope: Dict[str, int]) -> int:
+        kind = node[0]
+        if kind == "lit":
+            return node[1]
+        if kind == "var":
+            name = node[1]
+            if name in scope:
+                return scope[name]
+            if name in self.globals:
+                return self.globals[name]
+            raise EvaluationError(f"unknown variable {name!r}")
+        if kind == "readport":
+            return self.ports[node[1]]
+        if kind == "bin":
+            left = self._value(node[2], scope)
+            right = self._value(node[3], scope)
+            op = node[1]
+            if op == "+":
+                value = left + right
+            elif op == "-":
+                value = left - right
+            elif op == "*":
+                value = left * right
+            elif op == "&":
+                value = left & right
+            elif op == "|":
+                value = left | right
+            elif op == "^":
+                value = left ^ right
+            else:
+                raise EvaluationError(f"unknown operator {op!r}")
+        elif kind == "shl":
+            value = self._value(node[1], scope) << node[2]
+        elif kind == "shr":
+            value = self._value(node[1], scope) >> node[2]
+        else:
+            raise EvaluationError(f"unknown expr node {node!r}")
+        if not 0 <= value <= 0xFFFF:
+            raise EvaluationError(
+                f"value {value} escaped the representable range in "
+                f"{node!r}; the generator's range tracking is broken")
+        return value
+
+    def _truth(self, node: list, scope: Dict[str, int], interp) -> bool:
+        kind = node[0]
+        if kind == "test":
+            return bool(interp.condition_values[node[1]])
+        if kind == "cmp":
+            left = self._value(node[2], scope)
+            right = self._value(node[3], scope)
+            op = node[1]
+            return {"==": left == right, "!=": left != right,
+                    "<": left < right, "<=": left <= right,
+                    ">": left > right, ">=": left >= right}[op]
+        if kind == "not":
+            return not self._truth(node[1], scope, interp)
+        if kind == "and":
+            return (self._truth(node[1], scope, interp)
+                    and self._truth(node[2], scope, interp))
+        if kind == "or":
+            return (self._truth(node[1], scope, interp)
+                    or self._truth(node[2], scope, interp))
+        raise EvaluationError(f"unknown bool node {node!r}")
+
+    # -- statement execution -----------------------------------------------
+    def _run_block(self, body: List[list], scope: Dict[str, int],
+                   interp) -> None:
+        for node in body:
+            kind = node[0]
+            if kind == "local":
+                scope[node[1]] = self._value(node[4], scope)
+            elif kind == "assign":
+                name = node[1]
+                value = self._value(node[2], scope)
+                if name in scope:
+                    scope[name] = value
+                elif name in self.globals:
+                    self.globals[name] = value
+                else:
+                    raise EvaluationError(f"unknown variable {name!r}")
+            elif kind == "if":
+                branch = (node[2] if self._truth(node[1], scope, interp)
+                          else node[3])
+                self._run_block(branch, scope, interp)
+            elif kind == "settrue":
+                interp.set_condition(node[1], True)
+            elif kind == "setfalse":
+                interp.set_condition(node[1], False)
+            elif kind == "raise":
+                interp.raise_event(node[1])
+            elif kind == "writeport":
+                self.ports[node[1]] = self._value(node[2], scope)
+            else:
+                raise EvaluationError(f"unknown stmt node {node!r}")
+
+    # -- interpreter plumbing ----------------------------------------------
+    def handlers(self) -> Dict[str, Callable]:
+        """Action-handler mapping for ``Interpreter(chart, actions=...)``."""
+        table: Dict[str, Callable] = {}
+        for name in self.spec.routines:
+            body = self.spec.routines[name].body
+
+            def handler(interp, transition, _body=body) -> None:
+                self._run_block(_body, {}, interp)
+
+            table[name] = handler
+        return table

@@ -1,0 +1,251 @@
+"""Delta-debugging minimizer for diverging chart specs.
+
+Classic ddmin-style greedy shrinking over the spec IR: every candidate is
+the current spec with exactly one element removed — a transition, a state
+(plus everything that references it), a routine attachment, a single action
+statement, or an unused declaration — and a candidate is kept iff the
+caller's *predicate* still holds (typically "the oracle still diverges at
+the same stage on the same field").  The loop restarts after every
+successful removal and stops at a fixpoint, which is precisely the
+single-removal minimality the tests assert: no one further removal keeps
+the divergence alive.
+
+Candidates that crash the predicate count as "divergence gone" — a shrink
+must never trade a semantic divergence for an unrelated crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Tuple
+
+from repro.fuzz.generator import (
+    ChartSpec,
+    StateSpec,
+    spec_from_json,
+    spec_to_json,
+)
+
+
+def _stmt_count(body: List[list]) -> int:
+    total = 0
+    for node in body:
+        total += 1
+        if node[0] == "if":
+            total += _stmt_count(node[2]) + _stmt_count(node[3])
+    return total
+
+
+def spec_size(spec: ChartSpec) -> int:
+    """Shrink metric: states + transitions + action statements."""
+    return (len(spec.states()) + len(spec.transitions)
+            + sum(_stmt_count(r.body) for r in spec.routines.values()))
+
+
+def _copy(spec: ChartSpec) -> ChartSpec:
+    return spec_from_json(spec_to_json(spec))
+
+
+# ---------------------------------------------------------------------------
+# statement paths
+# ---------------------------------------------------------------------------
+
+def _stmt_paths(body: List[list], prefix: Tuple = ()) -> Iterator[Tuple]:
+    for index, node in enumerate(body):
+        yield prefix + (index,)
+        if node[0] == "if":
+            yield from _stmt_paths(node[2], prefix + (index, "then"))
+            yield from _stmt_paths(node[3], prefix + (index, "else"))
+
+
+def _resolve_block(body: List[list], path: Tuple) -> List[list]:
+    """The block holding the statement addressed by *path*."""
+    block = body
+    walk = list(path[:-1])
+    while walk:
+        index = walk.pop(0)
+        branch = walk.pop(0)
+        node = block[index]
+        block = node[2] if branch == "then" else node[3]
+    return block
+
+
+def _used_names(spec: ChartSpec) -> Tuple[set, set, set]:
+    """(variables, conditions, ports) referenced anywhere in the spec."""
+    variables: set = set()
+    conditions: set = set()
+    ports: set = set()
+
+    def walk_expr(node: list) -> None:
+        kind = node[0]
+        if kind == "var":
+            variables.add(node[1])
+        elif kind == "readport":
+            ports.add(node[1])
+        elif kind == "bin":
+            walk_expr(node[2])
+            walk_expr(node[3])
+        elif kind in ("shl", "shr"):
+            walk_expr(node[1])
+
+    def walk_bool(node: list) -> None:
+        kind = node[0]
+        if kind == "test":
+            conditions.add(node[1])
+        elif kind == "cmp":
+            walk_expr(node[2])
+            walk_expr(node[3])
+        elif kind == "not":
+            walk_bool(node[1])
+        elif kind in ("and", "or"):
+            walk_bool(node[1])
+            walk_bool(node[2])
+
+    def walk_block(body: List[list]) -> None:
+        for node in body:
+            kind = node[0]
+            if kind == "local":
+                walk_expr(node[4])
+            elif kind == "assign":
+                variables.add(node[1])
+                walk_expr(node[2])
+            elif kind == "if":
+                walk_bool(node[1])
+                walk_block(node[2])
+                walk_block(node[3])
+            elif kind in ("settrue", "setfalse"):
+                conditions.add(node[1])
+            elif kind == "writeport":
+                ports.add(node[1])
+                walk_expr(node[2])
+
+    for routine in spec.routines.values():
+        walk_block(routine.body)
+    for transition in spec.transitions:
+        if transition.guard is not None:
+            conditions.add(transition.guard[0])
+    return variables, conditions, ports
+
+
+# ---------------------------------------------------------------------------
+# single-removal candidates
+# ---------------------------------------------------------------------------
+
+def _drop_state(spec: ChartSpec, name: str) -> bool:
+    """Remove state *name* (with its subtree) in place; False if not
+    removable (it is the last top-level state)."""
+    doomed = {name}
+
+    def collect(state: StateSpec) -> None:
+        doomed.add(state.name)
+        for child in state.children:
+            collect(child)
+
+    def prune(container: StateSpec) -> bool:
+        for index, child in enumerate(container.children):
+            if child.name == name:
+                collect(child)
+                del container.children[index]
+                if not container.children and container is not spec.root:
+                    container.kind = "basic"
+                    container.default = None
+                elif container.kind == "and" and len(container.children) < 2:
+                    container.kind = "or"
+                if container.default in doomed:
+                    container.default = (container.children[0].name
+                                        if container.children else None)
+                return True
+            if prune(child):
+                return True
+        return False
+
+    if len(spec.root.children) == 1 and spec.root.children[0].name == name:
+        return False
+    if not prune(spec.root):
+        return False
+    spec.transitions = [t for t in spec.transitions
+                        if t.source not in doomed and t.target not in doomed]
+    return True
+
+
+def shrink_candidates(spec: ChartSpec) -> Iterator[ChartSpec]:
+    """Every spec reachable from *spec* by one removal, cheapest first."""
+    # 1. drop one transition
+    for index in range(len(spec.transitions)):
+        candidate = _copy(spec)
+        del candidate.transitions[index]
+        yield candidate
+
+    # 2. detach one routine (keep the transition)
+    for index, transition in enumerate(spec.transitions):
+        if transition.routine is None:
+            continue
+        candidate = _copy(spec)
+        name = candidate.transitions[index].routine
+        candidate.transitions[index] = replace(candidate.transitions[index],
+                                               routine=None)
+        if not any(t.routine == name for t in candidate.transitions):
+            candidate.routines.pop(name, None)
+        yield candidate
+
+    # 3. drop one action statement
+    for routine_name, routine in spec.routines.items():
+        for path in list(_stmt_paths(routine.body)):
+            candidate = _copy(spec)
+            block = _resolve_block(candidate.routines[routine_name].body,
+                                   path)
+            del block[path[-1]]
+            yield candidate
+
+    # 4. drop one state (subtree + touching transitions)
+    for state in spec.states():
+        candidate = _copy(spec)
+        if _drop_state(candidate, state.name):
+            yield candidate
+
+    # 5. drop unused declarations
+    used_vars, used_conds, used_ports = _used_names(spec)
+    for index, variable in enumerate(spec.variables):
+        if variable.name not in used_vars:
+            candidate = _copy(spec)
+            del candidate.variables[index]
+            yield candidate
+    for index, (cond_name, _) in enumerate(spec.conditions):
+        if cond_name not in used_conds:
+            candidate = _copy(spec)
+            del candidate.conditions[index]
+            yield candidate
+    for index, port in enumerate(spec.ports):
+        if port not in used_ports:
+            candidate = _copy(spec)
+            del candidate.ports[index]
+            yield candidate
+    for routine_name in spec.routines:
+        if not any(t.routine == routine_name for t in spec.transitions):
+            candidate = _copy(spec)
+            del candidate.routines[routine_name]
+            yield candidate
+
+
+def shrink_spec(spec: ChartSpec,
+                predicate: Callable[[ChartSpec], bool],
+                max_steps: int = 1000) -> ChartSpec:
+    """Greedy single-removal fixpoint: the returned spec still satisfies
+    *predicate* but no one further removal does.
+
+    A predicate that raises counts as False — shrinking must never swap
+    the original divergence for a new crash.
+    """
+    current = spec
+    for _ in range(max_steps):
+        for candidate in shrink_candidates(current):
+            try:
+                keep = bool(predicate(candidate))
+            except Exception:  # noqa: BLE001 — crashes are rejections
+                keep = False
+            if keep:
+                current = candidate
+                break
+        else:
+            return current
+    return current

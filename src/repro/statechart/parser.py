@@ -44,7 +44,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.statechart.labels import Label, parse_label
+from repro.statechart.expr import ExprError
+from repro.statechart.labels import Label, LabelError, parse_label
 from repro.statechart.model import (
     Chart,
     ChartError,
@@ -342,12 +343,22 @@ class _ChartParser:
             for target, label_text, wcet, line in decl.transitions:
                 if target not in self.state_decls:
                     raise ParseError(f"unknown target state {target!r}", line)
-                label = parse_label(label_text)
-                chart.add_transition(
-                    name, target,
-                    trigger=label.trigger, guard=label.guard,
-                    action=label.action, label=label_text,
-                    wcet_override=wcet, line=line)
+                try:
+                    label = parse_label(label_text)
+                except (LabelError, ExprError) as exc:
+                    raise ParseError(
+                        f"bad transition label {label_text!r}: {exc}",
+                        line) from exc
+                try:
+                    chart.add_transition(
+                        name, target,
+                        trigger=label.trigger, guard=label.guard,
+                        action=label.action, label=label_text,
+                        wcet_override=wcet, line=line)
+                except ChartError as exc:
+                    raise ParseError(
+                        f"bad transition {name!r} -> {target!r}: {exc}",
+                        line) from exc
         return chart
 
 

@@ -1,0 +1,79 @@
+"""Ladder bisection: first_true search and guilty-stage attribution."""
+
+from repro.fuzz import (
+    OracleHarness,
+    bisect_harness,
+    first_true,
+    generate_spec,
+    plant_canary,
+)
+
+
+class TestFirstTrue:
+    def test_all_false_returns_none(self):
+        assert first_true(8, lambda i: False) is None
+
+    def test_empty_returns_none(self):
+        assert first_true(0, lambda i: True) is None
+
+    def test_finds_every_boundary(self):
+        for n in (1, 2, 5, 9):
+            for boundary in range(n):
+                found = first_true(n, lambda i, b=boundary: i >= b)
+                assert found == boundary, (n, boundary)
+
+    def test_logarithmic_probe_count(self):
+        calls = []
+
+        def predicate(i):
+            calls.append(i)
+            return i >= 37
+
+        assert first_true(100, predicate) == 37
+        # binary search over 100 stages: well under a linear scan
+        assert len(calls) <= 10
+
+
+class TestBisectHarness:
+    def _case(self, stage, seeds=range(7919, 7940), cycles=20):
+        for seed in seeds:
+            spec = generate_spec(seed)
+            mutation = plant_canary(spec, stage=stage, cycles=cycles)
+            if mutation is not None:
+                return OracleHarness(spec, cycles=cycles, mutation=mutation)
+        raise AssertionError(f"no plantable seed for {stage!r}")
+
+    def test_attributes_to_exact_planted_rung(self):
+        """Satellite 5: a mutation planted at rung R bisects to exactly
+        R, with the boundary verified (R diverges, R-1 clean)."""
+        harness = self._case("promote-internal")
+        verdict = bisect_harness(harness)
+        assert verdict.guilty_stage == "promote-internal"
+        assert verdict.verified
+        assert verdict.divergence is not None
+        assert verdict.divergence.stage == "promote-internal"
+
+    def test_attributes_baseline_mutation_to_baseline(self):
+        harness = self._case("baseline")
+        verdict = bisect_harness(harness)
+        assert verdict.guilty_stage == "baseline"
+        assert verdict.verified
+
+    def test_clean_harness_yields_no_guilty_stage(self):
+        harness = OracleHarness(generate_spec(1), cycles=15)
+        verdict = bisect_harness(harness)
+        assert verdict.guilty_stage is None
+        assert verdict.divergence is None
+
+    def test_probes_fewer_stages_than_linear(self):
+        harness = self._case("promote-internal")
+        verdict = bisect_harness(harness)
+        total = len(harness.stage_names())
+        # log2(total) + boundary verification, with margin
+        assert len(verdict.stages_checked) < total
+
+    def test_verdict_serializes(self):
+        harness = self._case("promote-internal")
+        doc = bisect_harness(harness).to_json()
+        assert doc["guilty_stage"] == "promote-internal"
+        assert doc["verified"] is True

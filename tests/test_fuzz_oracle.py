@@ -1,0 +1,119 @@
+"""Multi-rung differential oracle: clean ladders, canary detection,
+divergence monotonicity."""
+
+import pytest
+
+from repro.fuzz import (
+    OracleHarness,
+    apply_mutation,
+    generate_spec,
+    ladder_rungs,
+    plant_canary,
+    render_chart,
+    render_source,
+    spec_to_json,
+)
+from repro.fuzz.oracle import EXTRA_STAGES
+
+
+def first_plantable(stage, seeds=range(7919, 7940), cycles=20):
+    """First (spec, mutation) pair where a canary plants at *stage*."""
+    for seed in seeds:
+        spec = generate_spec(seed)
+        mutation = plant_canary(spec, stage=stage, cycles=cycles)
+        if mutation is not None:
+            return spec, mutation
+    raise AssertionError(f"no plantable seed for stage {stage!r}")
+
+
+class TestLadder:
+    def test_rung_names_mirror_improver(self):
+        spec = generate_spec(1)
+        rungs = ladder_rungs(render_chart(spec), render_source(spec))
+        names = [r.name for r in rungs]
+        assert names[0] == "baseline"
+        assert "peephole" in names
+        assert "add-tep" in names
+        # ladder order is fixed: each rung builds on the previous arch
+        assert names.index("peephole") < names.index("add-tep")
+
+    def test_stage_names_include_extra_stages(self):
+        harness = OracleHarness(generate_spec(1), cycles=10)
+        names = harness.stage_names()
+        for extra in EXTRA_STAGES:
+            assert extra in names
+        assert names[-len(EXTRA_STAGES):] == list(EXTRA_STAGES)
+
+    def test_max_rungs_truncates(self):
+        harness = OracleHarness(generate_spec(1), cycles=10, max_rungs=1)
+        assert harness.stage_names() == ["baseline", *EXTRA_STAGES]
+
+
+class TestCleanOracle:
+    @pytest.mark.parametrize("seed", [1, 2, 5, 7919])
+    def test_every_stage_agrees(self, seed):
+        """Zero divergence across all rungs, snapshot/restore and the
+        delta-chain reconstruction — the fuzzer's core invariant."""
+        harness = OracleHarness(generate_spec(seed), cycles=25)
+        result = harness.run_all(stop_at_first=True)
+        assert result.clean, result.first_divergence.describe()
+        assert result.stages == harness.stage_names()
+
+
+class TestCanary:
+    def test_apply_mutation_retargets_one_transition(self):
+        spec, mutation = first_plantable("baseline")
+        mutated = apply_mutation(spec, mutation)
+        assert mutated is not None
+        before = spec_to_json(spec)
+        after = spec_to_json(mutated)
+        assert before != after
+        # exactly one transition's target changed
+        changed = [
+            (b, a)
+            for b, a in zip(_transitions(before), _transitions(after))
+            if b != a
+        ]
+        assert len(changed) == 1
+        assert changed[0][1]["target"] == mutation.new_target
+
+    def test_canary_detected_at_planted_stage(self):
+        spec, mutation = first_plantable("promote-internal")
+        harness = OracleHarness(spec, cycles=20, mutation=mutation)
+        names = harness.stage_names()
+        planted = names.index("promote-internal")
+        # stages before the mutation run the clean chart: no divergence
+        for index in range(planted):
+            assert harness.run_stage(index) is None, names[index]
+        # the planted stage itself diverges
+        divergence = harness.run_stage(planted)
+        assert divergence is not None
+        assert divergence.stage == "promote-internal"
+
+    def test_canary_divergence_is_monotone(self):
+        """Every stage at or after the mutation point diverges — the
+        property the ladder bisection relies on."""
+        spec, mutation = first_plantable("promote-internal")
+        harness = OracleHarness(spec, cycles=20, mutation=mutation)
+        names = harness.stage_names()
+        planted = names.index("promote-internal")
+        verdicts = [harness.run_stage(i) is not None
+                    for i in range(len(names))]
+        assert verdicts == [i >= planted for i in range(len(names))]
+
+    def test_snapshot_stage_canary(self):
+        """A mutation planted at an extra stage is caught there and only
+        there (all rung stages run the clean chart)."""
+        spec = generate_spec(7922)
+        mutation = plant_canary(spec, stage="snapshot-restore", cycles=20)
+        assert mutation is not None
+        harness = OracleHarness(spec, cycles=20, mutation=mutation)
+        names = harness.stage_names()
+        planted = names.index("snapshot-restore")
+        for index in range(planted):
+            assert harness.run_stage(index) is None
+        assert harness.run_stage(planted) is not None
+
+
+def _transitions(doc):
+    return doc["transitions"]

@@ -1,113 +1,57 @@
 """Property test: the full PSCP machine agrees with the reference
 interpreter on randomly generated charts.
 
-Hypothesis builds random chart shapes (OR chains, AND compositions, random
-triggers/guards) with effect-free routines; the machine (SLA + compiled
-stubs + scheduler) and the interpreter must walk through identical
-configurations for random event traces.  This ties together every layer:
-chart model, SLA synthesis, guard arbitration, stub generation, scheduler
-and the TEP simulator.
+Chart generation is delegated to :mod:`repro.fuzz.generator` — the same
+seeded vocabulary the differential fuzz campaigns use — so the property
+test and the fuzzer exercise one grammar.  Hypothesis's role here is
+reduced to drawing generator seeds (plus shrinking towards small ones);
+the heavy lifting (well-formed hierarchy, lint-clean routines, range-safe
+arithmetic) lives in the generator itself.
+
+The full-effects test runs the baseline rung of the oracle's stage stack
+(machine vs. interpreter+SpecEvaluator on configurations, fired indices,
+conditions, ports and globals); the effect-free test keeps the historical
+shape-only property alive on the cheaper no-routines mode.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.action.check import Externals
-from repro.isa import CodeGenerator, MD16_TEP, NameMaps, prepare_program
-from repro.pscp import PscpMachine
-from repro.statechart import ChartBuilder, Interpreter
+from repro.fuzz import GeneratorConfig, OracleHarness, generate_spec, render_chart
 
-EVENTS = ["E0", "E1", "E2"]
-CONDITIONS = ["C0", "C1"]
+SHAPE_CONFIG = GeneratorConfig(effects=False)
 
-
-@st.composite
-def chart_specs(draw):
-    """A random chart description: regions of state rings with random
-    transition labels."""
-    n_regions = draw(st.integers(1, 3))
-    regions = []
-    for region in range(n_regions):
-        n_states = draw(st.integers(2, 4))
-        transitions = []
-        for state in range(n_states):
-            n_out = draw(st.integers(0, 2))
-            for _ in range(n_out):
-                target = draw(st.integers(0, n_states - 1))
-                event = draw(st.sampled_from(EVENTS))
-                guard = draw(st.sampled_from([None] + CONDITIONS))
-                negate = draw(st.booleans())
-                transitions.append((state, target, event, guard, negate))
-        regions.append((n_states, transitions))
-    initial_conditions = draw(st.sets(st.sampled_from(CONDITIONS)))
-    return regions, initial_conditions
-
-
-def build_chart(spec):
-    regions, initial_conditions = spec
-    b = ChartBuilder("random")
-    for event in EVENTS:
-        b.event(event)
-    for condition in CONDITIONS:
-        b.condition(condition, initial=condition in initial_conditions)
-
-    def fill_region(region_index, n_states, transitions):
-        for state in range(n_states):
-            b.basic(f"R{region_index}S{state}")
-        for index, (source, target, event, guard, negate) in enumerate(
-                transitions):
-            label = event
-            if guard is not None:
-                label += f" [{'not ' if negate else ''}{guard}]"
-            label += f"/Act{region_index}_{index}()"
-            b._pending.append((f"R{region_index}S{source}",
-                               f"R{region_index}S{target}", label, None))
-
-    if len(regions) == 1:
-        with b.or_state("Top", default="R0S0"):
-            fill_region(0, *regions[0])
-    else:
-        with b.and_state("Top"):
-            for region_index, (n_states, transitions) in enumerate(regions):
-                with b.or_state(f"Region{region_index}",
-                                default=f"R{region_index}S0"):
-                    fill_region(region_index, n_states, transitions)
-    chart = b.build(validate=False)
-    routines = "\n".join(
-        f"void Act{r}_{i}() {{ }}"
-        for r, (n, ts) in enumerate(regions)
-        for i in range(len(ts)))
-    routines = routines or "void Unused() { }"
-    return chart, routines
+seeds = st.integers(0, 2**32 - 1)
 
 
 class TestMachineMatchesInterpreterOnRandomCharts:
-    @settings(max_examples=25, deadline=None)
-    @given(chart_specs(),
-           st.lists(st.sets(st.sampled_from(EVENTS)), max_size=6))
-    def test_configurations_agree(self, spec, trace):
-        chart, routines = build_chart(spec)
-        externals = Externals.from_chart(chart)
-        checked = prepare_program(routines, MD16_TEP, externals)
-        compiled = CodeGenerator(checked, MD16_TEP,
-                                 maps=NameMaps.from_chart(chart)).compile()
-        params = {f.name: [] for f in checked.program.functions}
-        machine = PscpMachine(chart, compiled, param_names=params)
-        interpreter = Interpreter(chart)
-        for events in trace:
-            machine_step = machine.step(events)
-            interpreter_step = interpreter.step(events)
-            assert machine.cr.configuration == interpreter.configuration
-            assert [t.index for t in machine_step.fired] == \
-                [t.index for t in interpreter_step.fired]
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, st.integers(5, 25))
+    def test_baseline_machine_agrees(self, seed, cycles):
+        """Machine and interpreter agree per-cycle on every observable
+        field, with real action routines executing on both sides."""
+        spec = generate_spec(seed)
+        harness = OracleHarness(spec, cycles=cycles, max_rungs=1)
+        result = harness.run_all(stop_at_first=True)
+        assert result.clean, result.first_divergence.describe()
 
     @settings(max_examples=15, deadline=None)
-    @given(chart_specs())
-    def test_sla_size_reasonable(self, spec):
+    @given(seeds, st.integers(5, 20))
+    def test_effect_free_shapes_agree(self, seed, cycles):
+        """The historical shape-only property: empty routines, pure
+        configuration/firing agreement."""
+        spec = generate_spec(seed, SHAPE_CONFIG)
+        harness = OracleHarness(spec, cycles=cycles, max_rungs=1)
+        result = harness.run_all(stop_at_first=True)
+        assert result.clean, result.first_divergence.describe()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds)
+    def test_sla_size_reasonable(self, seed):
         """Synthesis never explodes on these shapes."""
         from repro.sla import synthesize
-        chart, _ = build_chart(spec)
+
+        chart = render_chart(generate_spec(seed, SHAPE_CONFIG))
         pla = synthesize(chart)
         # each transition contributes at most a few products (guards are
-        # single literals here)
+        # single literals in the generated vocabulary)
         assert pla.product_terms <= 4 * max(1, len(chart.transitions))

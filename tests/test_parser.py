@@ -149,6 +149,37 @@ class TestErrors:
             parse_chart("basicstate S {}\nbasicstate S {}")
         assert excinfo.value.line == 2
 
+    def test_bad_label_raises_attributed_parse_error(self):
+        """A malformed label must surface as a ParseError with the
+        transition's line number, never a raw LabelError/ExprError."""
+        text = ('basicstate S {\n'
+                '  transition {\n'
+                '    target T;\n'
+                '    label "E [[";\n'
+                '  }\n'
+                '}\n'
+                'basicstate T {}\n')
+        with pytest.raises(ParseError) as excinfo:
+            parse_chart(text)
+        assert "bad transition label" in str(excinfo.value)
+        assert excinfo.value.line == 2
+
+    def test_duplicate_transition_raises_attributed_parse_error(self):
+        """Chart-model rejections during transition construction surface
+        as attributed ParseErrors, not raw ChartErrors."""
+        text = ('event E;\n'
+                'basicstate S {\n'
+                '  transition { target T; label "E"; }\n'
+                '  transition { target T; label "E"; }\n'
+                '}\n'
+                'basicstate T {}\n')
+        try:
+            parse_chart(text)
+        except ParseError as exc:
+            assert exc.line is not None
+        # (chart model may accept duplicates; only the error *type*
+        # contract matters here)
+
     def test_double_containment_rejected(self):
         text = """
         orstate A { contains C; }
