@@ -2,7 +2,7 @@
 """Observability-overhead guard for the closed-loop benchmark.
 
 Runs the bench_closed_loop workload (the paper's final architecture against
-the fast-motor physics) in four legs, using the shared warmup + interleaved
+the fast-motor physics) in five legs, using the shared warmup + interleaved
 timing discipline of :mod:`repro.perf.timing`:
 
 * **disabled** — no instrumentation at all;
@@ -10,15 +10,18 @@ timing discipline of :mod:`repro.perf.timing`:
   production configuration);
 * **profiler** — routine-level :class:`~repro.obs.perfprof.PerfProfiler`
   attached (the cheap hot-path attribution level);
+* **lineage** — :class:`~repro.obs.lineage.LineageTracker` attached (the
+  causal-provenance recorder: hot path appends raw hop tuples only, all
+  DAG digestion is deferred to query time);
 * **enabled** — tracer attached.
 
 Checks, against ``scripts/overhead_baseline.json``:
 
 * **determinism** (always): total reference-clock cycles, configuration
-  cycles and final motor positions must match across all four legs and the
+  cycles and final motor positions must match across all five legs and the
   baseline exactly — observability must not perturb the simulation;
-* **leg overhead** (always): the recorder and profiler legs must stay
-  within ``--threshold`` (default 5%) of the disabled leg — a *hard*
+* **leg overhead** (always): the recorder, profiler and lineage legs must
+  stay within ``--threshold`` (default 5%) of the disabled leg — a *hard*
   failure.  Overhead is the median of per-round ratios
   (:func:`repro.perf.timing.paired_overhead`): within a round the legs
   run back-to-back so load drift cancels in the ratio.  When a budget
@@ -35,7 +38,7 @@ Checks, against ``scripts/overhead_baseline.json``:
   this check is a smoke alarm for gross regressions (default 15%), not
   the fine-grained budget the paired legs enforce.  A host-speed
   calibration — a fixed pure-Python spin loop
-  (:func:`repro.perf.timing.calibration_spin`) timed as a fifth leg of
+  (:func:`repro.perf.timing.calibration_spin`) timed as a sixth leg of
   the same interleaved rounds — can *excuse* a slow host (the smaller of
   the raw and normalized ratios is used) but never convicts a run the
   raw comparison would pass.
@@ -54,7 +57,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.flow import build_system
 from repro.isa import MD16_TEP
-from repro.obs import FlightRecorder, PerfProfiler, Tracer
+from repro.obs import FlightRecorder, LineageTracker, PerfProfiler, Tracer
 from repro.perf import (
     calibration_spin,
     fingerprint,
@@ -87,12 +90,15 @@ def build_final_system():
     return build_system(smd_chart(), SMD_ROUTINES, arch, specialize=True)
 
 
-def run_once(system, tracer=None, recorder=None, profiler=None):
+def run_once(system, tracer=None, recorder=None, profiler=None,
+             lineage=None):
     loop = SmdClosedLoop(system, motor_specs=FAST_MOTORS, tracer=tracer)
     if recorder is not None:
         loop.machine.attach_recorder(recorder)
     if profiler is not None:
         loop.machine.attach_profiler(profiler)
+    if lineage is not None:
+        loop.machine.attach_lineage(lineage)
     return loop.run(COMMANDS, max_configuration_cycles=40000)
 
 
@@ -107,15 +113,16 @@ def determinism_record(report):
 
 
 def measure(system, rounds):
-    """One full interleaved measurement: the four legs plus the
+    """One full interleaved measurement: the five legs plus the
     host-speed calibration spin riding the same rounds."""
-    print(f"timing disabled/recorder/profiler/enabled + calibration "
-          f"interleaved ({rounds} rounds each) ...")
+    print(f"timing disabled/recorder/profiler/lineage/enabled + "
+          f"calibration interleaved ({rounds} rounds each) ...")
     legs = measure_interleaved({
         "disabled": lambda: run_once(system),
         "recorder": lambda: run_once(system, recorder=FlightRecorder()),
         "profiler": lambda: run_once(
             system, profiler=PerfProfiler(level="routine")),
+        "lineage": lambda: run_once(system, lineage=LineageTracker()),
         "enabled": lambda: run_once(system, Tracer()),
         "calibration": calibration_spin,
     }, rounds=rounds, warmup=1)
@@ -123,7 +130,7 @@ def measure(system, rounds):
     print(f"  disabled median {disabled.median_ns / 1e6:.1f} ms, "
           f"{disabled.payload.total_cycles} cycles")
     overheads = {}
-    for name in ("recorder", "profiler", "enabled"):
+    for name in ("recorder", "profiler", "lineage", "enabled"):
         overheads[name] = paired_overhead(legs[name], disabled)
         print(f"  {name:8s} median {legs[name].median_ns / 1e6:.1f} ms "
               f"({overheads[name] * 100:+.1f}% vs disabled, paired)")
@@ -134,9 +141,9 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--update", action="store_true",
                         help="record the current run as the new baseline")
-    parser.add_argument("--rounds", type=int, default=10,
+    parser.add_argument("--rounds", type=int, default=12,
                         help="timing rounds per leg (interleaved with a "
-                             "rotating schedule; a multiple of the five "
+                             "rotating schedule; a multiple of the six "
                              "legs keeps the position balance exact)")
     parser.add_argument("--threshold", type=float, default=0.05,
                         help="allowed paired-leg overhead fraction")
@@ -167,12 +174,12 @@ def main(argv=None):
                 legs[name].payload = timing.payload
             overheads = {
                 name: paired_overhead(legs[name], legs["disabled"])
-                for name in ("recorder", "profiler", "enabled")}
+                for name in ("recorder", "profiler", "lineage", "enabled")}
             print("  pooled   " + ", ".join(
                 f"{name} {overheads[name] * 100:+.1f}%"
-                for name in ("recorder", "profiler", "enabled")))
+                for name in ("recorder", "profiler", "lineage", "enabled")))
         if all(overheads[name] <= args.threshold
-               for name in ("recorder", "profiler")):
+               for name in ("recorder", "profiler", "lineage")):
             break
         if attempt < args.retries:
             print("hard-budget overshoot; extending the measurement to "
@@ -180,14 +187,15 @@ def main(argv=None):
 
     disabled = legs["disabled"]
     record = determinism_record(disabled.payload)
-    for name in ("recorder", "profiler", "enabled"):
+    for name in ("recorder", "profiler", "lineage", "enabled"):
         if determinism_record(legs[name].payload) != record:
             print(f"FAIL: {name} run diverged from disabled run")
             return 1
-    # the flight recorder is always-on in production farms and the
-    # routine-level profiler is the attachable hot-path attribution: both
+    # the flight recorder is always-on in production farms, the
+    # routine-level profiler is the attachable hot-path attribution, and
+    # the lineage tracker rides every farm run under --lineage: all three
     # overhead budgets are hard failures, the full tracer's is advisory
-    for name in ("recorder", "profiler"):
+    for name in ("recorder", "profiler", "lineage"):
         if overheads[name] > args.threshold:
             print(f"FAIL: {name} overhead {overheads[name] * 100:.1f}% "
                   f"exceeds {args.threshold * 100:.0f}% budget")

@@ -46,7 +46,9 @@ Robustness subcommands (see docs/ROBUSTNESS.md and docs/RESILIENCE.md)::
                                    [--chaos] [--json] [--dashboard]
                                    [--trace PATH] [--forensics-dir DIR]
                                    [--samples PATH] [--sample-every K]
+                                   [--lineage PATH]
     python -m repro forensics BUNDLE.json [--json]
+    python -m repro why DAG.json NODE [--find] [--json]
 
 ``PROJECT`` is either a directory holding one ``*.sc`` chart and one
 ``*.c`` routine file (e.g. ``examples/smd``) or an explicit
@@ -68,7 +70,12 @@ flight recorder (disable with ``--no-recorder``); ``--trace`` merges every
 machine plus the supervisor timeline into one Perfetto trace,
 ``--forensics-dir`` collects the bundles dumped on escalation, and
 ``--dashboard`` renders the sampler's sparkline dashboard.  ``forensics``
-pretty-prints one such bundle.
+pretty-prints one such bundle.  Under ``--processes``, ``--lineage``
+records end-to-end causal lineage — every item's path from injection
+through dispatch, redispatch after a kill, standby promotion, down to
+machine-level latches, fires and port writes — and writes the stitched
+DAG as canonical JSON; ``why`` then renders the complete causal chain
+through any node of that DAG (byte-identical across same-seed runs).
 """
 
 from __future__ import annotations
@@ -299,6 +306,10 @@ def run_trace(argv: List[str], out=sys.stdout) -> int:
     return 0
 
 
+#: bump when the ``repro stats --json`` document layout changes
+STATS_SCHEMA_VERSION = 1
+
+
 def run_stats(argv: List[str], out=sys.stdout) -> int:
     """``repro stats``: simulate and print the metrics registry."""
     parser = _sim_argument_parser(
@@ -322,6 +333,7 @@ def run_stats(argv: List[str], out=sys.stdout) -> int:
     machine, report = _simulate(system, args.cycles, None, metrics)
     if args.json:
         document = {
+            "schema_version": STATS_SCHEMA_VERSION,
             "chart": chart.name,
             "architecture": system.arch.describe(),
             "configuration_cycles": machine.cycle_count,
@@ -334,7 +346,8 @@ def run_stats(argv: List[str], out=sys.stdout) -> int:
                  "arrivals": d.arrivals, "consumed": d.consumed,
                  "worst_latency": d.worst_latency, "misses": d.misses}
                 for d in report.deadline_reports]
-        json.dump(document, out, indent=2)
+        # canonical: sorted keys, so two same-seed runs diff clean
+        json.dump(document, out, indent=2, sort_keys=True)
         print(file=out)
         return 0
     print(f"chart {chart.name!r} on {system.arch.describe()}: "
@@ -492,6 +505,10 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
     parser.add_argument("--forensics-dir", default=None, metavar="DIR",
                         help="write each escalation's forensics bundle "
                              "into DIR (created if missing)")
+    parser.add_argument("--lineage", default=None, metavar="PATH",
+                        help="distributed mode: trace causal lineage "
+                             "end to end and write the stitched DAG as "
+                             "canonical JSON (query it with `repro why`)")
     parser.add_argument("--recorder-capacity", type=_positive_int,
                         default=64,
                         help="flight-recorder ring entries per worker "
@@ -523,6 +540,9 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
         if args.trace is not None:
             with open(args.trace, "a"):
                 pass
+        if args.lineage is not None:
+            with open(args.lineage, "a"):
+                pass
         if args.forensics_dir is not None:
             os.makedirs(args.forensics_dir, exist_ok=True)
     except OSError as exc:
@@ -533,6 +553,10 @@ def run_serve(argv: List[str], out=sys.stdout) -> int:
 
     if args.processes is not None:
         return _run_serve_distributed(args, chart, system, out)
+    if args.lineage is not None:
+        print("error: --lineage requires --processes (cross-process farm "
+              "lineage)", file=sys.stderr)
+        return 2
 
     injector_factory = None
     if args.chaos:
@@ -647,11 +671,14 @@ def _run_serve_distributed(args, chart, system, out) -> int:
     byte.
     """
     from repro.fault.model import generate_kill_plan
-    from repro.obs import ShardAggregator, write_merged_chrome_trace
+    from repro.obs import FarmLineage, ShardAggregator, dag_flow_events, \
+        write_merged_chrome_trace
+    from repro.obs.export import FIRST_MACHINE_PID
     from repro.resil import RestartPolicy, generate_event_stream
     from repro.resil.shardfarm import ShardConfig, ShardFarmError, \
         ShardSupervisor
 
+    lineage = FarmLineage() if args.lineage is not None else None
     kill_plan = []
     if args.chaos:
         # land the kills while the stream is still flowing
@@ -666,7 +693,8 @@ def _run_serve_distributed(args, chart, system, out) -> int:
         shed_enabled=not args.no_shed,
         batch=args.batch,
         checkpoint_every=args.checkpoint_every,
-        sample_every=args.sample_every)
+        sample_every=args.sample_every,
+        lineage=lineage is not None)
     policy = RestartPolicy(
         max_restarts=args.max_restarts,
         checkpoint_every=args.checkpoint_every,
@@ -675,7 +703,8 @@ def _run_serve_distributed(args, chart, system, out) -> int:
         jitter_ticks=2, jitter_seed=args.seed)
     supervisor = ShardSupervisor(
         system, n_shards=args.processes, config=config, policy=policy,
-        standby=args.standby, kill_plan=kill_plan, aggregator=aggregator)
+        standby=args.standby, kill_plan=kill_plan, aggregator=aggregator,
+        lineage=lineage)
     stream = generate_event_stream(system.chart.events, args.items,
                                    seed=args.seed)
     try:
@@ -685,24 +714,43 @@ def _run_serve_distributed(args, chart, system, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     violations = report.conservation() + aggregator.conservation()
+    if lineage is not None:
+        violations += lineage.conservation()
+        with open(args.lineage, "w") as handle:
+            handle.write(lineage.dumps())
+            handle.write("\n")
 
     if args.trace is not None:
         # no per-machine tracers cross the process boundary; the merged
         # trace carries the supervisor track (kills, promotions,
-        # respawns, sheds) alone
+        # respawns, sheds) — plus, with --lineage, flow arrows from the
+        # stitched causal DAG, placed on each shard's pid track
+        flows = None
+        if lineage is not None:
+            pids = {shard.name: FIRST_MACHINE_PID + index
+                    for index, shard in enumerate(supervisor.shards)}
+            flows = dag_flow_events(lineage.dag, pids=pids)
         write_merged_chrome_trace({}, args.trace,
                                   supervisor_events=report.timeline,
-                                  dropped_events=report.timeline_dropped)
+                                  dropped_events=report.timeline_dropped,
+                                  flows=flows)
     if args.samples is not None:
         aggregator.write_json(args.samples)
 
     if args.json:
-        json.dump({
+        document = {
             "chart": chart.name,
             "architecture": system.arch.describe(),
             "farm": report.to_json(),
             "samples": aggregator.to_json(),
-        }, out, indent=2, sort_keys=True)
+        }
+        if lineage is not None:
+            document["lineage"] = {
+                "nodes": len(lineage.dag.nodes),
+                "edges": len(lineage.dag.edges),
+                "conservation_violations": lineage.conservation(),
+            }
+        json.dump(document, out, indent=2, sort_keys=True)
         print(file=out)
         return 1 if violations else 0
     print(f"chart {chart.name!r} on {system.arch.describe()}: "
@@ -713,6 +761,10 @@ def _run_serve_distributed(args, chart, system, out) -> int:
              if args.chaos else ""), file=out)
     print(file=out)
     print(report.render(), file=out)
+    if lineage is not None:
+        print(f"wrote {args.lineage}: causal DAG, "
+              f"{len(lineage.dag.nodes)} node(s), "
+              f"{len(lineage.dag.edges)} edge(s)", file=out)
     if args.trace is not None:
         print(f"wrote {args.trace}: supervisor track "
               f"({len(report.timeline)} instant(s)"
@@ -751,6 +803,73 @@ def run_forensics(argv: List[str], out=sys.stdout) -> int:
         print(file=out)
         return 0
     print(render_forensics(bundle), file=out)
+    return 0
+
+
+def run_why(argv: List[str], out=sys.stdout) -> int:
+    """``repro why``: render the causal chain through one lineage node.
+
+    Output is deterministic — sorted ancestors/descendants, canonical
+    JSON — so two same-seed farm runs answer byte-identically.  Exit
+    status 2 names close matches when the node id is unknown.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro why",
+        description="render the end-to-end causal chain (injection -> "
+                    "latch -> dispatch -> raise -> output) for a node of "
+                    "a lineage DAG written by serve --lineage")
+    parser.add_argument("dag", help="lineage DAG JSON file "
+                                    "(serve --lineage PATH)")
+    parser.add_argument("node", help="node id, e.g. ev:stream:12 or "
+                                     "shard0.g0/port:9:t3:464:0")
+    parser.add_argument("--find", action="store_true",
+                        help="list node ids containing NODE instead of "
+                             "rendering a chain")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable chain (canonical JSON)")
+    args = parser.parse_args(argv)
+
+    from repro.obs import load_dag, render_chain
+
+    try:
+        with open(args.dag) as handle:
+            document = json.load(handle)
+        dag = load_dag(document)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.find:
+        matches = dag.find(args.node)
+        for node_id in matches:
+            print(node_id, file=out)
+        if not matches:
+            print(f"error: no lineage node id contains {args.node!r}",
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    if args.node not in dag.nodes:
+        candidates = dag.find(args.node)
+        hint = ("; close matches: " + ", ".join(candidates[:6])
+                if candidates else "")
+        print(f"error: no lineage node {args.node!r}{hint}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump({
+            "id": args.node,
+            "node": dag.nodes[args.node],
+            "parents": [{"id": src, "edge": kind}
+                        for src, kind in dag.parents(args.node)],
+            "children": [{"id": dst, "edge": kind}
+                         for dst, kind in dag.children(args.node)],
+            "ancestors": dag.ancestors(args.node),
+            "descendants": dag.descendants(args.node),
+        }, out, indent=2, sort_keys=True)
+        print(file=out)
+        return 0
+    print(render_chain(dag, args.node), file=out)
     return 0
 
 
@@ -1139,6 +1258,8 @@ def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return run_serve(argv[1:], out)
     if argv and argv[0] == "forensics":
         return run_forensics(argv[1:], out)
+    if argv and argv[0] == "why":
+        return run_why(argv[1:], out)
     if argv and argv[0] == "bench":
         return run_bench(argv[1:], out)
     if argv and argv[0] == "fuzz":

@@ -15,6 +15,14 @@ so the disabled path allocates nothing and benchmark numbers are
 byte-identical with tracing off.
 """
 
+from repro.obs.causal import (
+    CausalDag,
+    DAG_VERSION,
+    FarmLineage,
+    dag_flow_events,
+    load_dag,
+    render_chain,
+)
 from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
@@ -28,12 +36,14 @@ from repro.obs.farm import FarmSampler, ShardAggregator, render_dashboard, \
     sparkline
 from repro.obs.flightrec import (
     FORENSICS_VERSION,
+    SUPPORTED_FORENSICS_VERSIONS,
     FlightRecorder,
     load_forensics_bundle,
     render_forensics,
     write_forensics_bundle,
 )
 from repro.obs.flowprof import FlowProfile, RungProfile
+from repro.obs.lineage import LineageTracker
 from repro.obs.perfprof import (
     OPCODE_LEVEL,
     ROUTINE_LEVEL,
@@ -51,14 +61,19 @@ from repro.obs.metrics import (
 from repro.obs.tracer import COUNTER, INSTANT, SPAN, Tracer
 
 __all__ = [
-    "COUNTER", "Counter", "DEFAULT_CYCLE_BUCKETS", "FORENSICS_VERSION",
+    "COUNTER", "CausalDag", "Counter", "DAG_VERSION",
+    "DEFAULT_CYCLE_BUCKETS", "FORENSICS_VERSION", "FarmLineage",
     "FarmSampler",
     "ShardAggregator", "FlightRecorder", "FlowProfile", "Gauge",
-    "Histogram", "INSTANT", "MetricsRegistry", "OPCODE_LEVEL",
+    "Histogram", "INSTANT", "LineageTracker", "MetricsRegistry",
+    "OPCODE_LEVEL",
     "PerfProfiler", "ROUTINE_LEVEL", "RungProfile",
-    "STEP_PHASES", "ScopedRegistry", "SPAN",
-    "Tracer", "chrome_trace", "chrome_trace_events",
+    "STEP_PHASES", "SUPPORTED_FORENSICS_VERSIONS", "ScopedRegistry",
+    "SPAN",
+    "Tracer", "chrome_trace", "chrome_trace_events", "dag_flow_events",
+    "load_dag",
     "load_forensics_bundle", "merged_chrome_trace", "metrics_summary",
+    "render_chain",
     "render_dashboard", "render_forensics", "sparkline", "trace_summary",
     "write_chrome_trace", "write_forensics_bundle",
     "write_merged_chrome_trace",

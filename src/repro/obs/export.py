@@ -129,7 +129,10 @@ def merged_chrome_trace(tracers: Mapping[str, Tracer],
                         supervisor_events: Optional[
                             Iterable[Dict[str, Any]]] = None,
                         metrics: Optional[MetricsRegistry] = None,
-                        dropped_events: int = 0) -> Dict[str, Any]:
+                        dropped_events: int = 0,
+                        flows: Optional[
+                            Iterable[Dict[str, Any]]] = None
+                        ) -> Dict[str, Any]:
     """One trace document for a whole farm.
 
     *tracers* maps machine names (``worker0``, ...) to their tracers; each
@@ -139,6 +142,12 @@ def merged_chrome_trace(tracers: Mapping[str, Tracer],
     as recorded on :attr:`~repro.resil.supervisor.FarmLedger.timeline` —
     land as instants on a dedicated pid-1 "farm supervisor" track (one
     supervisor tick maps to one microsecond, like one machine cycle does).
+
+    *flows* — ready-made Chrome flow-event dicts (``ph: "s"``/``"f"``
+    pairs from :func:`repro.obs.causal.dag_flow_events`) — are appended
+    verbatim, drawing the causal lineage as arrows across the farm's
+    process tracks in Perfetto.  ``None`` (the default) keeps the output
+    byte-identical to the historical export.
 
     The supervisor timeline is a bounded ring; when events aged out, pass
     the ledger's ``timeline_dropped`` as *dropped_events* — the trace then
@@ -178,6 +187,10 @@ def merged_chrome_trace(tracers: Mapping[str, Tracer],
             process_sort_index=index + 1))
         metadata["machines"][name] = {"pid": pid,
                                       **dict(tracer.metadata)}
+    if flows is not None:
+        flow_events = list(flows)
+        events.extend(flow_events)
+        metadata["lineage_flow_events"] = len(flow_events)
     document: Dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -193,10 +206,13 @@ def write_merged_chrome_trace(tracers: Mapping[str, Tracer],
                               supervisor_events: Optional[
                                   Iterable[Dict[str, Any]]] = None,
                               metrics: Optional[MetricsRegistry] = None,
-                              dropped_events: int = 0) -> None:
+                              dropped_events: int = 0,
+                              flows: Optional[
+                                  Iterable[Dict[str, Any]]] = None) -> None:
     """Serialize :func:`merged_chrome_trace` to a path or file object."""
     document = merged_chrome_trace(tracers, supervisor_events, metrics,
-                                   dropped_events=dropped_events)
+                                   dropped_events=dropped_events,
+                                   flows=flows)
     if hasattr(destination, "write"):
         json.dump(document, destination)
     else:

@@ -32,8 +32,12 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, IO, List, Optional, Union
 
-#: bump when the bundle layout changes; the pretty-printer refuses others
-FORENSICS_VERSION = 1
+#: bump when the bundle layout changes; the pretty-printer refuses others.
+#: v1 (PR 4) had no ``lineage`` key; v2 adds the escalating machine's
+#: last-K causal lineage hops.  Loading stays compatible with every
+#: version in :data:`SUPPORTED_FORENSICS_VERSIONS`.
+FORENSICS_VERSION = 2
+SUPPORTED_FORENSICS_VERSIONS = (1, 2)
 
 #: ring entry kinds
 STEP = "step"
@@ -165,8 +169,15 @@ class FlightRecorder:
         *cause* describes why the dump happened (escalation detail,
         permanent failure, an operator's request); *metrics_delta* carries
         whatever progress counters the caller tracked since the last
-        checkpoint.
+        checkpoint.  When the machine also carries a
+        :class:`~repro.obs.lineage.LineageTracker`, the bundle includes
+        its last-K causal hops (``lineage``, v2) so the post-mortem shows
+        *why* the escalating cycles happened, not just what they did.
         """
+        lineage_tail = None
+        if self.machine is not None \
+                and getattr(self.machine, "lineage", None) is not None:
+            lineage_tail = self.machine.lineage.tail(16)
         bundle: Dict[str, Any] = {
             "version": FORENSICS_VERSION,
             "worker": worker,
@@ -178,6 +189,7 @@ class FlightRecorder:
             "last_checkpoint": self.last_checkpoint,
             "last_escalation": self.last_escalation,
             "metrics_delta": metrics_delta,
+            "lineage": lineage_tail,
         }
         if self.machine is not None:
             bundle["machine"] = {
@@ -260,10 +272,15 @@ def load_forensics_bundle(path: str) -> Dict[str, Any]:
                 f"(not valid JSON at line {exc.lineno} column {exc.colno}): "
                 f"{exc.msg}") from None
     version = bundle.get("version") if isinstance(bundle, dict) else None
-    if version != FORENSICS_VERSION:
+    if version not in SUPPORTED_FORENSICS_VERSIONS:
+        supported = "/".join(str(v) for v in SUPPORTED_FORENSICS_VERSIONS)
         raise ValueError(
-            f"not a version-{FORENSICS_VERSION} forensics bundle "
+            f"not a version-{supported} forensics bundle "
             f"(found version {version!r})")
+    if version < FORENSICS_VERSION:
+        # pre-PR9 bundles carry no lineage tail; normalize the shape so
+        # every consumer sees one layout
+        bundle.setdefault("lineage", None)
     return bundle
 
 
@@ -316,4 +333,26 @@ def render_forensics(bundle: Dict[str, Any]) -> str:
                 f"{entry['escalation']}: {entry['detail']}")))
     parts.append(ascii_table(["Cycle", "Kind", "What"], rows,
                              title="Flight-recorder ring (oldest first)"))
+    lineage = bundle.get("lineage")
+    if lineage:
+        hop_rows = []
+        for hop in lineage:
+            if hop.get("kind") == "inject":
+                hop_rows.append(("-", "inject",
+                                 f"{hop['event']} as {hop['id']}"))
+            elif hop.get("kind") == "dispatch":
+                what = (f"t{hop['transition']} "
+                        + ("ok" if hop.get("completed", True)
+                           else "aborted"))
+                if hop.get("raised"):
+                    what += " raised " + "+".join(hop["raised"])
+                if hop.get("writes"):
+                    what += f" ({hop['writes']} port write(s))"
+                hop_rows.append((hop["cycle"], "dispatch", clip(what)))
+            else:
+                hop_rows.append((hop.get("cycle", "-"), "cycle", clip(
+                    "in " + "+".join(hop.get("sampled", [])) + " fired "
+                    + str(hop.get("fired", [])))))
+        parts.append(ascii_table(["Cycle", "Hop", "What"], hop_rows,
+                                 title="Causal lineage tail (oldest first)"))
     return "\n\n".join(parts)

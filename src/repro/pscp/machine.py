@@ -182,6 +182,10 @@ class PscpMachine:
         #: attached :class:`repro.obs.FlightRecorder` costs one tuple
         #: append per cycle (enforced by ``scripts/check_overhead.py``)
         self.recorder = None
+        #: causal lineage: ``None`` keeps every hook a no-op guard; an
+        #: attached :class:`repro.obs.LineageTracker` appends compact hop
+        #: tuples (digested lazily at query time, never here)
+        self.lineage = None
         self.failed_teps: Set[int] = set()
         #: ``None`` until a TEP fails; then the surviving TEP indices the
         #: scheduler round-robins over
@@ -249,6 +253,16 @@ class PscpMachine:
         self.recorder = recorder
         if recorder is not None:
             recorder.bind(self)
+
+    def attach_lineage(self, lineage) -> None:
+        """Attach a :class:`repro.obs.LineageTracker`: the machine then
+        records causal hops — injected event latched, latch enabling a
+        dispatch, dispatch raising events and writing ports — as compact
+        tuples on the tracker's hop log.  Pass ``None`` to detach and
+        restore the zero-overhead disabled path."""
+        self.lineage = lineage
+        if lineage is not None:
+            lineage.bind(self)
 
     # -- fault injection and recovery --------------------------------------
     def attach_injector(self, injector) -> None:
@@ -428,12 +442,17 @@ class PscpMachine:
         event_index_to_name = self._event_index_to_name
         bridge = self.cond_cache_bridge
         cache = self.executor.condition_cache
+        lineage = self.lineage
+        port_log = None if lineage is None else self.ports.access_log
+        log_before = 0
 
         while not self.tat.empty:
             index = self.tat.pop()
             assert index is not None
             effect = (injector.dispatch_effect(self.cycle_count, index)
                       if injector is not None else None)
+            if lineage is not None:
+                log_before = len(port_log)
             bridge.copy_in(self.cr, cache)
             self.executor.events_raised = set()
             if retired is not None:
@@ -451,6 +470,13 @@ class PscpMachine:
             if retired is not None:
                 retired[index] = (self.executor.instructions_executed
                                   - executed_before)
+            if lineage is not None:
+                # recorded before the abort branch: an aborted dispatch is
+                # still a causal hop (its raises stay quarantined — the
+                # digester drops them, mirroring the transactional abort)
+                lineage.on_dispatch(self.cycle_count, index, completed,
+                                    self.executor.events_raised,
+                                    port_log[log_before:])
             if not completed:
                 # aborted or runaway: the routine's condition/event effects
                 # are transactional — no copy-back, raised events dropped
@@ -511,6 +537,8 @@ class PscpMachine:
                               raised_names, words_before)
         if self.recorder is not None:
             self.recorder.record_step(self.cycle_count, step)
+        if lineage is not None:
+            lineage.on_step(self.cycle_count, step)
         self.time += cycle_length
         self.cycle_count += 1
         if self._keep_history:

@@ -41,6 +41,13 @@ class WorkItem:
     seq: int
     events: Tuple[str, ...]
     priority: int = 0  # higher = more important; survives shedding longer
+    #: trace context: with ``seq`` this names the item's stable lineage
+    #: identity ``ev:<origin>:<seq>`` across processes and redispatch
+    origin: str = "stream"
+
+    @property
+    def trace_id(self) -> str:
+        return f"ev:{self.origin}:{self.seq}"
 
     def describe(self) -> str:
         return (f"item {self.seq} p{self.priority} "

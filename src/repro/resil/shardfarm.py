@@ -109,16 +109,19 @@ class ShardConfig:
     miss_threshold: int = 3
     guard_retries: int = 1
     sample_every: int = 5
+    #: attach a per-worker LineageTracker and ship causal-hop digests in
+    #: every result frame (the supervisor stitches them into one DAG)
+    lineage: bool = False
 
 
 def encode_item(item: WorkItem) -> Dict[str, Any]:
     return {"seq": item.seq, "events": list(item.events),
-            "priority": item.priority}
+            "priority": item.priority, "origin": item.origin}
 
 
 def decode_item(doc: Dict[str, Any]) -> WorkItem:
     return WorkItem(doc["seq"], tuple(doc["events"]),
-                    doc.get("priority", 0))
+                    doc.get("priority", 0), doc.get("origin", "stream"))
 
 
 # ---------------------------------------------------------------------------
@@ -146,6 +149,12 @@ class WorkerCore:
                 restore_machine(self.machine,
                                 MachineSnapshot.from_json(snapshot_doc),
                                 restore_attachments=False)
+        self.lineage = None
+        if config.lineage:
+            from repro.obs.lineage import LineageTracker
+
+            self.lineage = LineageTracker(origin="worker")
+            self.machine.attach_lineage(self.lineage)
         self.queue = BoundedQueue(config.queue_capacity,
                                   shed_enabled=config.shed_enabled)
         self.chain = DeltaChain(compact_ratio=config.compact_ratio,
@@ -202,6 +211,10 @@ class WorkerCore:
             item = self.queue.pop()
             if item is None:
                 break
+            if self.lineage is not None:
+                # bind each stepped event to the item's wire trace context
+                for name in item.events:
+                    self.lineage.note_injection(name, item.trace_id)
             try:
                 self.machine.step(item.events)
             except (MachineEscalation, MachineError) as exc:
@@ -228,7 +241,7 @@ class WorkerCore:
             # queue drained first, die before acknowledging — the reply
             # is never sent and the supervisor sees EOF mid-dispatch
             os.kill(os.getpid(), signal.SIGKILL)
-        return {
+        result = {
             "op": "result",
             "accepted": accepted,
             "rejected": rejected,
@@ -243,6 +256,12 @@ class WorkerCore:
                 "restarts": self.restarts,
             },
         }
+        if self.lineage is not None:
+            # only the delta since the last acked reply rides the frame;
+            # hops a SIGKILL takes down with the process are re-derived
+            # at the item level by the supervisor (death + redispatch)
+            result["lineage"] = self.lineage.drain()
+        return result
 
     def full_snapshot_doc(self) -> Dict[str, Any]:
         return snapshot_machine(self.machine,
@@ -334,6 +353,9 @@ class ShardHandle:
         self.exempt: set = set()
         self.pending_retry = False
         self.awaiting_reply = False
+        #: worker incarnation (respawns + promotions) — namespaces the
+        #: lineage digests so replayed cycles never collide across lives
+        self.generation = 0
         #: the last FULL snapshot received (every delta names it as base)
         self.base_full: Optional[MachineSnapshot] = None
         #: the current reconstructed state (base full + latest delta)
@@ -507,7 +529,8 @@ class ShardSupervisor:
                  standby: bool = False,
                  kill_plan: Optional[Iterable] = None,
                  aggregator=None,
-                 timeline_limit: Optional[int] = 4096) -> None:
+                 timeline_limit: Optional[int] = 4096,
+                 lineage=None) -> None:
         if n_shards < 1:
             raise ShardFarmError("a distributed farm needs >= 1 shard")
         self.system = system
@@ -517,6 +540,9 @@ class ShardSupervisor:
         self.kill_plan = sorted(kill_plan or (),
                                 key=lambda k: (k.tick, k.shard))
         self.aggregator = aggregator
+        #: optional :class:`repro.obs.causal.FarmLineage` — item-level
+        #: provenance stitched with the workers' machine-level digests
+        self.lineage = lineage
         self.ledger = FarmLedger(timeline_limit=timeline_limit)
         self.shards = [ShardHandle(i, f"shard{i}")
                        for i in range(n_shards)]
@@ -667,12 +693,18 @@ class ShardSupervisor:
                 self.shutdown()
 
     def _tick_once(self, burst: List[Dict[str, Any]], tick: int) -> None:
+        lineage = self.lineage
         buckets: Dict[int, List[Dict[str, Any]]] = {}
         for doc in burst:
             self.ledger.submitted += 1
+            if lineage is not None:
+                lineage.on_submit(tick, doc)
             shard = self._route(doc["seq"])
             if shard is None:
                 self.ledger.reject(REJECT_WORKER_FAILED)
+                if lineage is not None:
+                    lineage.on_reject(tick, doc["seq"],
+                                      REJECT_WORKER_FAILED)
             else:
                 buckets.setdefault(shard.index, []).append(doc)
 
@@ -684,10 +716,12 @@ class ShardSupervisor:
                 contacted.append((shard, "late"))
                 continue
             bucket = buckets.get(shard.index, [])
+            redispatched: set = set()
             if shard.pending_retry:
-                bucket = sorted(shard.outstanding.values(),
-                                key=lambda d: d["seq"]) \
-                    + shard.unacked + bucket
+                retry_docs = sorted(shard.outstanding.values(),
+                                    key=lambda d: d["seq"]) + shard.unacked
+                redispatched = {doc["seq"] for doc in retry_docs}
+                bucket = retry_docs + bucket
                 shard.exempt = set(shard.outstanding)
                 shard.pending_retry = False
             kill_after = self._pending_kill.pop(shard.index, None)
@@ -705,6 +739,11 @@ class ShardSupervisor:
                         tick, "process-kill", shard.name,
                         f"SIGKILL after {kill_after} item(s)")
                 shard.unacked = fresh
+                if lineage is not None:
+                    for doc in bucket:
+                        lineage.on_dispatch(
+                            tick, shard.name, doc,
+                            redispatch=doc["seq"] in redispatched)
                 try:
                     shard.channel.send(message)
                 except TransportClosed as exc:
@@ -741,12 +780,15 @@ class ShardSupervisor:
     def _on_result(self, shard: ShardHandle, reply: Dict[str, Any],
                    tick: int) -> None:
         ledger = self.ledger
+        lineage = self.lineage
         dispatched = {doc["seq"]: doc for doc in shard.unacked}
         for seq in reply.get("accepted", ()):
             if seq in shard.exempt:
                 continue
             ledger.accepted += 1
             shard.accepted += 1
+            if lineage is not None:
+                lineage.on_accept(tick, seq)
             if seq in dispatched:
                 shard.outstanding[seq] = dispatched[seq]
         for seq, reason in reply.get("rejected", ()):
@@ -756,13 +798,19 @@ class ShardSupervisor:
                 shard.outstanding.pop(seq, None)
                 ledger.drop(SHED_RESPAWN_OVERFLOW)
                 shard.shed += 1
+                if lineage is not None:
+                    lineage.on_shed(tick, seq, SHED_RESPAWN_OVERFLOW)
             else:
                 ledger.reject(reason)
                 shard.rejected += 1
+                if lineage is not None:
+                    lineage.on_reject(tick, seq, reason)
         for seq, reason in reply.get("shed", ()):
             shard.outstanding.pop(seq, None)
             ledger.drop(reason)
             shard.shed += 1
+            if lineage is not None:
+                lineage.on_shed(tick, seq, reason)
             ledger.note(tick, "shed", shard.name,
                         f"item {seq}: {reason}")
         processed_docs: List[Dict[str, Any]] = []
@@ -772,6 +820,11 @@ class ShardSupervisor:
                 processed_docs.append(doc)
             ledger.processed += 1
             shard.processed += 1
+            if lineage is not None:
+                lineage.on_processed(tick, seq)
+        if lineage is not None and "lineage" in reply:
+            lineage.merge_worker(shard.name, shard.generation,
+                                 reply["lineage"])
         shard.unacked = []
         shard.exempt = set()
         shard.queue_depth = reply.get("queue_depth", 0)
@@ -859,6 +912,8 @@ class ShardSupervisor:
                   cause: str) -> None:
         self.ledger.escalations += 1
         self.ledger.note(tick, "worker-lost", shard.name, cause)
+        if self.lineage is not None:
+            self.lineage.on_worker_lost(tick, shard.name, cause)
         self._close_channel(shard.channel)
         shard.channel = None
         shard.awaiting_reply = False
@@ -894,22 +949,33 @@ class ShardSupervisor:
             # or permanent failure, with both losses attributed
             self._lose_standby(shard, tick, f"died at promotion: {exc}")
             return False
+        lineage = self.lineage
+        if lineage is not None:
+            lineage.on_promotion(tick, shard.name)
         fresh_seqs = {doc["seq"] for doc in fresh}
         for seq in reply.get("processed", ()):
             if seq in fresh_seqs:
                 self.ledger.accepted += 1
                 shard.accepted += 1
+                if lineage is not None:
+                    lineage.on_accept(tick, seq)
             shard.outstanding.pop(seq, None)
             self.ledger.processed += 1
             shard.processed += 1
+            if lineage is not None:
+                lineage.on_processed(tick, seq)
         for seq, reason in reply.get("dropped", ()):
             if seq in fresh_seqs:
                 self.ledger.reject(reason)
                 shard.rejected += 1
+                if lineage is not None:
+                    lineage.on_reject(tick, seq, reason)
             else:
                 shard.outstanding.pop(seq, None)
                 self.ledger.drop(reason)
                 shard.shed += 1
+                if lineage is not None:
+                    lineage.on_shed(tick, seq, reason)
         shard.unacked = []
         self._apply_checkpoint(shard, reply["checkpoint"])
         shard.channel = shard.standby_channel
@@ -918,6 +984,7 @@ class ShardSupervisor:
         shard.standby_process = None
         shard.queue_depth = 0
         shard.promotions += 1
+        shard.generation += 1
         self.ledger.promotions += 1
         self.ledger.restarts += 1
         self.ledger.time_to_recover.append(0)
@@ -934,10 +1001,14 @@ class ShardSupervisor:
         for seq in sorted(shard.outstanding):
             self.ledger.drop(SHED_SHARD_LOST)
             shard.shed += 1
+            if self.lineage is not None:
+                self.lineage.on_shed(tick, seq, SHED_SHARD_LOST)
         shard.outstanding.clear()
         for _doc in shard.unacked:
             self.ledger.reject(SHED_SHARD_LOST)
             shard.rejected += 1
+            if self.lineage is not None:
+                self.lineage.on_reject(tick, _doc["seq"], SHED_SHARD_LOST)
         shard.unacked = []
         shard.queue_depth = 0
         shard.pending_retry = False
@@ -956,8 +1027,11 @@ class ShardSupervisor:
                 continue
             shard.state = RUNNING
             shard.respawns += 1
+            shard.generation += 1
             shard.queue_depth = 0
             self.ledger.restarts += 1
+            if self.lineage is not None:
+                self.lineage.on_respawn(tick, shard.name)
             if shard.failed_at is not None:
                 self.ledger.time_to_recover.append(tick - shard.failed_at)
                 shard.failed_at = None

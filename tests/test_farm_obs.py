@@ -31,12 +31,14 @@ from repro.fault.model import TEP_FAIL, TEP_RUNAWAY
 from repro.flow import build_system, select_initial_architecture
 from repro.obs import (
     FORENSICS_VERSION,
+    FarmLineage,
     FarmSampler,
     FlightRecorder,
     Histogram,
     MetricsRegistry,
     Tracer,
     chrome_trace_events,
+    dag_flow_events,
     load_forensics_bundle,
     merged_chrome_trace,
     render_dashboard,
@@ -45,9 +47,12 @@ from repro.obs import (
     write_forensics_bundle,
 )
 from repro.obs.export import FIRST_MACHINE_PID, TRACE_PID
+from repro.fault.model import ProcessKill
 from repro.resil import (
     MachineSnapshot,
     RestartPolicy,
+    ShardConfig,
+    ShardSupervisor,
     SnapshotError,
     Supervisor,
     generate_event_stream,
@@ -541,3 +546,78 @@ class TestDashboard:
         assert strip[0] < strip[-1]
         assert len(sparkline(list(range(100)), width=10)) == 10
         assert len(sparkline([1], width=5)) == 5
+
+
+# ---------------------------------------------------------------------------
+# cross-process lineage in the merged trace
+# ---------------------------------------------------------------------------
+
+def run_distributed_lineage(system, seed=7):
+    """One seeded distributed chaos run with the farm lineage attached;
+    returns (lineage, report) — the shape `repro serve --lineage` wires."""
+    lineage = FarmLineage()
+    supervisor = ShardSupervisor(
+        system, n_shards=2, standby=True,
+        config=ShardConfig(checkpoint_every=4, batch=2, lineage=True),
+        kill_plan=[ProcessKill(tick=4, shard=0, after_items=1)],
+        lineage=lineage)
+    stream = generate_event_stream(system.chart.events, 40, seed=seed)
+    report = supervisor.run(stream, arrivals_per_tick=5)
+    pids = {shard.name: FIRST_MACHINE_PID + index
+            for index, shard in enumerate(supervisor.shards)}
+    return lineage, report, pids
+
+
+@pytest.fixture(scope="module")
+def distributed_lineage(system):
+    return run_distributed_lineage(system)
+
+
+class TestDistributedLineageTrace:
+    def test_conservation_holds_across_the_kill(self, distributed_lineage):
+        lineage, report, _ = distributed_lineage
+        assert report.kills_fired >= 1, "chaos never killed a shard"
+        assert lineage.conservation() == []
+        assert any(node.startswith("death:") for node in lineage.dag.nodes)
+        # worker digests stitched in under generation namespaces
+        assert any("/" in node for node in lineage.dag.nodes)
+
+    def test_flow_events_bind_supervisor_to_shard_pids(
+            self, distributed_lineage):
+        lineage, _, pids = distributed_lineage
+        flows = dag_flow_events(lineage.dag, pids=pids)
+        assert flows, "no flow events from a chaos run"
+        assert {event["ph"] for event in flows} <= {"s", "f"}
+        starts = {e["id"] for e in flows if e["ph"] == "s"}
+        finishes = {e["id"] for e in flows if e["ph"] == "f"}
+        assert starts == finishes  # every flow arrow has both ends
+        seen_pids = {event["pid"] for event in flows}
+        assert 1 in seen_pids  # supervisor-side nodes
+        assert seen_pids & set(pids.values())  # and shard-side nodes
+        # a dispatch flow lands on the dispatched shard's trace track
+        dispatch_finishes = [e for e in flows if e["ph"] == "f"
+                             and e["id"].endswith("->disp:0:0")]
+        assert dispatch_finishes
+        assert dispatch_finishes[0]["pid"] in pids.values()
+
+    def test_merged_trace_embeds_the_flows(self, distributed_lineage):
+        lineage, _, pids = distributed_lineage
+        flows = dag_flow_events(lineage.dag, pids=pids)
+        document = merged_chrome_trace({}, flows=flows)
+        assert document["otherData"]["lineage_flow_events"] == len(flows)
+        lineage_events = [e for e in document["traceEvents"]
+                         if e.get("cat") == "lineage"]
+        assert len(lineage_events) == len(flows)
+
+    def test_two_same_seed_runs_are_byte_identical(self, system,
+                                                   distributed_lineage):
+        first_lineage, _, first_pids = distributed_lineage
+        second_lineage, _, second_pids = run_distributed_lineage(system)
+        assert first_pids == second_pids
+        assert first_lineage.dumps() == second_lineage.dumps()
+        first_doc = merged_chrome_trace(
+            {}, flows=dag_flow_events(first_lineage.dag, pids=first_pids))
+        second_doc = merged_chrome_trace(
+            {}, flows=dag_flow_events(second_lineage.dag, pids=second_pids))
+        assert (json.dumps(first_doc, sort_keys=True)
+                == json.dumps(second_doc, sort_keys=True))
