@@ -39,6 +39,9 @@ _LAZY = {
     "sla_lint": "repro.analysis.sla_lint",
     "LintResult": "repro.analysis.runner",
     "lint_system": "repro.analysis.runner",
+    "CheckResult": "repro.analysis.bmc",
+    "check_system": "repro.analysis.bmc",
+    "parse_properties": "repro.analysis.bmc",
 }
 
 

@@ -1,0 +1,426 @@
+"""The bounded step-relation explorer under the machine's semantics.
+
+A symbolic state (:data:`BmcNode`) is the triple the hardware actually
+latches between configuration cycles::
+
+    (active configuration, true conditions, pending raised events)
+
+Exploration is breadth-first from the chart's initial node.  From each node
+the environment's choices are *not* enumerated over all ``2^|events|``
+subsets: the enable products of the outgoing transitions
+(:func:`repro.analysis.chart_lint.enable_products`) are partially evaluated
+against the node's fixed condition values and pending events, and only the
+event literals that survive in some product — the **decision events** — can
+change what fires.  Every other event is sampled and dropped by the CR, so
+one representative suffices.  This is the pruning the ISSUE's "enable
+products instead of ``2^n``" refers to: conditions are part of the node (no
+valuation enumeration at all), and the input alphabet collapses to the
+products' free literals.
+
+One cycle mirrors :meth:`repro.statechart.semantics.Interpreter.step`
+exactly — same enabledness, the *same* :func:`select_transitions` conflict
+resolution, same exit/entry accumulation — so a path through this graph is
+a candidate execution of the real machine.  Action routines are abstracted
+by their effect summaries (:mod:`repro.analysis.effects`), split into
+
+* **must** effects — top-level, unconditional ``SetTrue``/``SetFalse``/
+  ``Raise`` calls, applied exactly; and
+* **may** effects — writes/raises under a branch or loop, which fork the
+  successor state (the routine's data decides concretely; we keep both).
+
+The may-fork makes the explored space a *superset* of the concrete
+reachable space: "never" proofs over it are sound, while counterexamples
+are only reported after they replay on the real machine
+(:mod:`repro.analysis.bmc.witness`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.action.ast import Call, ExprStmt, Function
+from repro.action.check import CheckedProgram
+from repro.action.stdlib import is_builtin
+from repro.analysis.chart_lint import enable_products
+from repro.analysis.effects import EffectAnalyzer, Effects
+from repro.statechart.labels import action_arguments, action_routine_name
+from repro.statechart.model import Chart, Transition
+from repro.statechart.semantics import select_transitions
+
+#: (configuration, true conditions, pending raised events)
+BmcNode = Tuple[FrozenSet[str], FrozenSet[str], FrozenSet[str]]
+
+
+# ---------------------------------------------------------------------------
+# must/may action abstraction
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ActionAbstraction:
+    """One transition's action, split into exact and forking effects."""
+
+    #: condition writes that always happen, in program order (last wins)
+    must_cond: Tuple[Tuple[str, bool], ...] = ()
+    #: events that are always raised
+    must_raise: FrozenSet[str] = frozenset()
+    #: condition writes that may or may not happen (value None: either way)
+    may_cond: Tuple[Tuple[str, Optional[bool]], ...] = ()
+    #: events that may or may not be raised
+    may_raise: Tuple[str, ...] = ()
+
+    @property
+    def fork_count(self) -> int:
+        forks = 1
+        for _, value in self.may_cond:
+            forks *= 3 if value is None else 2
+        forks *= 2 ** len(self.may_raise)
+        return forks
+
+
+def _top_level_builtins(program, function: Function, chart: Chart,
+                        seen: FrozenSet[str]
+                        ) -> Tuple[List[Tuple[str, bool]], Set[str]]:
+    """Unconditional builtin effects of a function body, in order."""
+    cond: List[Tuple[str, bool]] = []
+    raised: Set[str] = set()
+    for stmt in function.body:
+        if not isinstance(stmt, ExprStmt) or not isinstance(stmt.expr, Call):
+            continue
+        call = stmt.expr
+        if is_builtin(call.name):
+            target = str(call.args[0]).strip() if call.args else ""
+            if call.name == "SetTrue" and target in chart.conditions:
+                cond.append((target, True))
+            elif call.name == "SetFalse" and target in chart.conditions:
+                cond.append((target, False))
+            elif call.name == "Raise" and target in chart.events:
+                raised.add(target)
+            continue
+        if call.name in seen:
+            continue
+        try:
+            callee = program.function(call.name)
+        except KeyError:
+            continue
+        sub_cond, sub_raised = _top_level_builtins(
+            program, callee, chart, seen | {call.name})
+        cond.extend(sub_cond)
+        raised |= sub_raised
+    return cond, raised
+
+
+def abstract_actions(chart: Chart, checked: CheckedProgram
+                     ) -> Dict[int, ActionAbstraction]:
+    """Per-transition must/may abstraction of every action."""
+    analyzer = EffectAnalyzer(checked)
+    out: Dict[int, ActionAbstraction] = {}
+    for transition in chart.transitions:
+        if not transition.action:
+            continue
+        full: Effects = analyzer.action_effects(transition.action)
+        name = action_routine_name(transition.action)
+        if is_builtin(name):
+            arguments = action_arguments(transition.action)
+            target = arguments[0].strip() if arguments else ""
+            must_cond: List[Tuple[str, bool]] = []
+            must_raise: Set[str] = set()
+            if name == "SetTrue" and target in chart.conditions:
+                must_cond.append((target, True))
+            elif name == "SetFalse" and target in chart.conditions:
+                must_cond.append((target, False))
+            elif name == "Raise" and target in chart.events:
+                must_raise.add(target)
+        else:
+            try:
+                function = checked.program.function(name)
+            except KeyError:
+                function = None
+            if function is None:
+                must_cond, must_raise = [], set()
+            else:
+                must_cond, must_raise = _top_level_builtins(
+                    checked.program, function, chart, frozenset({name}))
+        must_keys = {(c, v) for c, v in must_cond}
+        may_cond = tuple(sorted(
+            (c, v) for c, v in full.cond_writes
+            if c in chart.conditions and (c, v) not in must_keys))
+        may_raise = tuple(sorted(
+            e for e in full.raises
+            if e in chart.events and e not in must_raise))
+        out[transition.index] = ActionAbstraction(
+            must_cond=tuple(must_cond),
+            must_raise=frozenset(must_raise),
+            may_cond=may_cond,
+            may_raise=may_raise)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the explored space
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Edge:
+    """One abstract step: external inputs -> successor, with what fired."""
+
+    inputs: FrozenSet[str]
+    target: BmcNode
+    fired: Tuple[int, ...]
+
+
+@dataclass
+class ExploredSpace:
+    """The reachable graph up to the bound, with provenance for witnesses."""
+
+    chart: Chart
+    initial: BmcNode
+    nodes: Dict[BmcNode, int] = field(default_factory=dict)  # node -> depth
+    edges: Dict[BmcNode, Tuple[Edge, ...]] = field(default_factory=dict)
+    #: per expanded node, the input alphabet that was branched on; events
+    #: outside it provably cannot change the node's step (their products
+    #: are dead), so an arrival of one reuses the existing edges
+    decisions: Dict[BmcNode, Tuple[str, ...]] = field(default_factory=dict)
+    parent: Dict[BmcNode, Tuple[BmcNode, FrozenSet[str]]] = \
+        field(default_factory=dict)
+    expanded: Set[BmcNode] = field(default_factory=set)
+    #: True when every reachable node was expanded within the bound — only
+    #: then do "not found" results count as proofs
+    complete: bool = True
+    truncation: Optional[str] = None
+    abstraction_forks: int = 0
+
+    def trace_to(self, node: BmcNode) -> List[FrozenSet[str]]:
+        """External-event inputs driving the machine from reset to *node*."""
+        steps: List[FrozenSet[str]] = []
+        current = node
+        while current != self.initial:
+            previous, inputs = self.parent[current]
+            steps.append(inputs)
+            current = previous
+        steps.reverse()
+        return steps
+
+    def mark_incomplete(self, reason: str) -> None:
+        self.complete = False
+        if self.truncation is None:
+            self.truncation = reason
+
+
+class Explorer:
+    """Breadth-first bounded exploration of one chart's step relation."""
+
+    def __init__(self, chart: Chart,
+                 actions: Dict[int, ActionAbstraction],
+                 *,
+                 depth: int = 40,
+                 max_states: int = 20000,
+                 max_decision_events: int = 14,
+                 max_forks_per_step: int = 16,
+                 watch_events: Iterable[str] = ()) -> None:
+        self.chart = chart
+        self.actions = actions
+        self.depth = depth
+        self.max_states = max_states
+        self.max_decision_events = max_decision_events
+        self.max_forks_per_step = max_forks_per_step
+        self.watch_events = frozenset(watch_events) & set(chart.events)
+        self._products = {t.index: enable_products(t)
+                          for t in chart.transitions}
+        self._outgoing: Dict[str, List[Transition]] = {}
+        for transition in chart.transitions:
+            self._outgoing.setdefault(transition.source, []).append(
+                transition)
+
+    # -- the input alphabet ------------------------------------------------
+    def decision_events(self, node: BmcNode, space: ExploredSpace
+                        ) -> List[str]:
+        """Events whose presence can change what fires from *node*.
+
+        A product already contradicted by the node's condition values or
+        satisfied-by-pending literals contributes nothing; the surviving
+        products' event literals are the only inputs worth branching on.
+        """
+        config, conds, pending = node
+        events = set(self.chart.events)
+        conditions = set(self.chart.conditions)
+        decisions: Set[str] = set()
+        for source in sorted(config):
+            for transition in self._outgoing.get(source, ()):
+                for pos, neg in self._products[transition.index]:
+                    # conditions are fixed by the node: prune dead products
+                    if any(c in conditions and c not in conds for c in pos):
+                        continue
+                    if any(c in conditions and c in conds for c in neg):
+                        continue
+                    # pending raised events are asserted regardless
+                    if any(e in pending for e in neg):
+                        continue
+                    decisions |= {n for n in (pos | neg)
+                                  if n in events and n not in pending}
+        decisions |= {e for e in self.watch_events if e not in pending}
+        ordered = sorted(decisions)
+        if len(ordered) > self.max_decision_events:
+            space.mark_incomplete(
+                f"{len(ordered)} decision events at one node exceed the "
+                f"cap of {self.max_decision_events}")
+            ordered = ordered[:self.max_decision_events]
+        return ordered
+
+    # -- one abstract step -------------------------------------------------
+    def successors(self, node: BmcNode, space: ExploredSpace) -> List[Edge]:
+        config, conds, pending = node
+        edges: List[Edge] = []
+        seen: Set[Tuple[FrozenSet[str], BmcNode, Tuple[int, ...]]] = set()
+        decisions = self.decision_events(node, space)
+        space.decisions[node] = tuple(decisions)
+        for mask in range(1 << len(decisions)):
+            external = frozenset(
+                decisions[i] for i in range(len(decisions))
+                if mask & (1 << i))
+            for edge in self._step(node, external, space):
+                key = (edge.inputs, edge.target, edge.fired)
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(edge)
+        return edges
+
+    def _step(self, node: BmcNode, external: FrozenSet[str],
+              space: ExploredSpace) -> List[Edge]:
+        """All abstract outcomes of one cycle under *external* inputs."""
+        config, conds, pending = node
+        visible = external | pending
+        asserted = visible | conds
+        enabled = []
+        for source in sorted(config):
+            for transition in self._outgoing.get(source, ()):
+                trigger, guard = transition.trigger, transition.guard
+                if trigger is not None and not trigger.evaluate(asserted):
+                    continue
+                if guard is not None and not guard.evaluate(asserted):
+                    continue
+                enabled.append(transition)
+        fired = select_transitions(self.chart, enabled)
+
+        new_config = set(config)
+        for transition in fired:
+            exit_set = self.chart.exit_set(transition, frozenset(new_config))
+            new_config -= exit_set
+            new_config |= self.chart.entry_set(transition)
+        frozen_config = frozenset(new_config)
+        fired_indices = tuple(t.index for t in fired)
+
+        # must effects, in firing order; collect may choices
+        base_conds = dict.fromkeys(conds, True)
+        base_raised: Set[str] = set()
+        may_cond: List[Tuple[str, Optional[bool]]] = []
+        may_raise: List[str] = []
+        forks = 1
+        for transition in fired:
+            abstraction = self.actions.get(transition.index)
+            if abstraction is None:
+                continue
+            for name, value in abstraction.must_cond:
+                if value:
+                    base_conds[name] = True
+                else:
+                    base_conds.pop(name, None)
+            base_raised |= abstraction.must_raise
+            may_cond.extend(abstraction.may_cond)
+            may_raise.extend(abstraction.may_raise)
+            forks *= abstraction.fork_count
+        may_cond = sorted(set(may_cond))
+        may_raise = sorted(set(may_raise) - base_raised)
+
+        if forks > self.max_forks_per_step:
+            space.mark_incomplete(
+                f"{forks} abstraction forks at one step exceed the cap of "
+                f"{self.max_forks_per_step}")
+            may_cond, may_raise = [], []
+
+        edges: List[Edge] = []
+        choices = self._fork_choices(may_cond, may_raise)
+        space.abstraction_forks += len(choices) - 1
+        for cond_choice, raise_choice in choices:
+            out_conds = dict(base_conds)
+            for name, value in cond_choice:
+                if value:
+                    out_conds[name] = True
+                else:
+                    out_conds.pop(name, None)
+            out_raised = frozenset(base_raised | set(raise_choice))
+            target: BmcNode = (frozen_config,
+                               frozenset(out_conds),
+                               out_raised)
+            edges.append(Edge(inputs=external, target=target,
+                              fired=fired_indices))
+        return edges
+
+    @staticmethod
+    def _fork_choices(may_cond: Sequence[Tuple[str, Optional[bool]]],
+                      may_raise: Sequence[str]
+                      ) -> List[Tuple[Tuple[Tuple[str, bool], ...],
+                                      Tuple[str, ...]]]:
+        cond_alternatives: List[List[Tuple[Tuple[str, bool], ...]]] = []
+        for name, value in may_cond:
+            if value is None:
+                cond_alternatives.append([(), ((name, True),),
+                                          ((name, False),)])
+            else:
+                cond_alternatives.append([(), ((name, bool(value)),)])
+        cond_choices: List[Tuple[Tuple[str, bool], ...]] = [()]
+        for alternatives in cond_alternatives:
+            cond_choices = [existing + alt
+                            for existing in cond_choices
+                            for alt in alternatives]
+        raise_choices: List[Tuple[str, ...]] = [()]
+        for name in may_raise:
+            raise_choices = [existing + extra
+                             for existing in raise_choices
+                             for extra in ((), (name,))]
+        return [(c, r) for c in cond_choices for r in raise_choices]
+
+    # -- the search --------------------------------------------------------
+    def initial_node(self) -> BmcNode:
+        conds = frozenset(name for name, condition
+                          in self.chart.conditions.items()
+                          if condition.initial)
+        return (self.chart.initial_configuration(), conds, frozenset())
+
+    def explore(self) -> ExploredSpace:
+        initial = self.initial_node()
+        space = ExploredSpace(chart=self.chart, initial=initial)
+        space.nodes[initial] = 0
+        queue: List[BmcNode] = [initial]
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            node_depth = space.nodes[node]
+            if node_depth >= self.depth:
+                space.mark_incomplete(
+                    f"depth bound {self.depth} reached")
+                continue
+            edges = tuple(self.successors(node, space))
+            space.edges[node] = edges
+            space.expanded.add(node)
+            for edge in edges:
+                if edge.target in space.nodes:
+                    continue
+                if len(space.nodes) >= self.max_states:
+                    space.mark_incomplete(
+                        f"state budget {self.max_states} exhausted")
+                    continue
+                space.nodes[edge.target] = node_depth + 1
+                space.parent[edge.target] = (node, edge.inputs)
+                queue.append(edge.target)
+        return space

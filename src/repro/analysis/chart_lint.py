@@ -206,6 +206,42 @@ def covers(winner: Sequence[Product], loser: Sequence[Product]) -> bool:
     return True
 
 
+_RESIDUE_CAP = 256
+
+
+def union_covers(winners: Sequence[Sequence[Product]],
+                 loser: Sequence[Product]) -> bool:
+    """True when the *union* of the winners' enabling conditions covers the
+    loser — even if no single winner does (e.g. one fires on ``A``, another
+    on ``not A``).
+
+    Exact via residues: subtract each winner product from what remains of
+    the loser (distributing the complement literal by literal); an empty
+    residue means no assignment enables the loser alone.  Gives up (returns
+    False, never a false positive) if the residue grows past a cap.
+    """
+    residue: List[Product] = list(loser)
+    for winner in winners:
+        for w_pos, w_neg in winner:
+            next_residue: List[Product] = []
+            for r_pos, r_neg in residue:
+                if (r_pos | w_pos) & (r_neg | w_neg):
+                    next_residue.append((r_pos, r_neg))
+                    continue  # disjoint from w: w removes nothing
+                # r AND NOT w  =  OR over w's literals not implied by r,
+                # each negated (r ⊆ w leaves no term: fully covered)
+                for event in w_pos - r_pos:
+                    next_residue.append((r_pos, r_neg | {event}))
+                for event in w_neg - r_neg:
+                    next_residue.append((r_pos | {event}, r_neg))
+            residue = next_residue
+            if len(residue) > _RESIDUE_CAP:
+                return False
+            if not residue:
+                return True
+    return not residue
+
+
 # ---------------------------------------------------------------------------
 # structural predicates
 # ---------------------------------------------------------------------------
@@ -277,6 +313,45 @@ def determinism(chart: Chart, path: Optional[str] = None
                     "conflict is resolved by priority (outermost scope, "
                     "then declaration order)",
                     location=_transition_loc(chart, path, loser))
+
+    # union shadowing (PSC205): no single higher-priority transition
+    # covers the loser, but two or more together do — e.g. one fires on
+    # `A`, another on `not A`.  Product-wise `covers` cannot see it; the
+    # exact residue subtraction can.
+    for loser in transitions:
+        dominators = []
+        single_cover = False
+        for winner in transitions:
+            if priority(winner) >= priority(loser):
+                continue
+            if not _scopes_related(chart, scopes[winner.index],
+                                   scopes[loser.index]):
+                continue
+            if not co_occupiable(chart, winner.source, loser.source):
+                continue
+            if not (winner.source == loser.source
+                    or chart.is_ancestor(winner.source, loser.source)):
+                continue
+            if not jointly_satisfiable(products[winner.index],
+                                       products[loser.index]):
+                continue
+            if covers(products[winner.index], products[loser.index]):
+                single_cover = True  # PSC201 already owns this loser
+                break
+            dominators.append(winner)
+        if single_cover or len(dominators) < 2:
+            continue
+        if union_covers([products[w.index] for w in dominators],
+                        products[loser.index]):
+            names = ", ".join(w.describe() for w in dominators)
+            out.emit(
+                "PSC205",
+                f"transition {loser.describe()} can never fire: the union "
+                f"of higher-priority transitions {names} covers its "
+                "enabling condition even though none does alone",
+                location=_transition_loc(chart, path, loser),
+                hint="reorder the transitions or carve out an assignment "
+                     "the higher-priority triggers/guards leave enabled")
     return out.diagnostics
 
 

@@ -20,6 +20,7 @@ PSC2xx  determinism, AND-region races, quiescence (statechart semantics)
 PSC3xx  action-language checks and dataflow (intermediate C)
 PSC4xx  WCET / budget checks (ISA cost model, watchdog, scheduler)
 PSC5xx  SLA / transition-address-table checks (synthesis)
+PSC6xx  bounded model checking (declared properties, deadline proofs)
 ====== =====================================================================
 """
 
@@ -145,6 +146,8 @@ CODES: Dict[str, CodeInfo] = {
     "PSC203": CodeInfo("AND-region write-write race", Severity.WARNING),
     "PSC204": CodeInfo("raised-event cycle may prevent quiescence",
                        Severity.WARNING),
+    "PSC205": CodeInfo("transition shadowed by the union of higher-priority "
+                       "ones", Severity.ERROR),
     # -- PSC3xx: action language -------------------------------------------
     "PSC301": CodeInfo("action parse error", Severity.ERROR),
     "PSC302": CodeInfo("action semantic error", Severity.ERROR),
@@ -164,6 +167,23 @@ CODES: Dict[str, CodeInfo] = {
     "PSC501": CodeInfo("duplicate transition-address-table entry",
                        Severity.ERROR),
     "PSC502": CodeInfo("SLA encoding collision", Severity.ERROR),
+    # -- PSC6xx: bounded model checking ------------------------------------
+    "PSC600": CodeInfo("property does not parse", Severity.ERROR),
+    "PSC601": CodeInfo("property names an unknown state/event/condition",
+                       Severity.ERROR),
+    "PSC602": CodeInfo("safety property violated (counterexample replayed)",
+                       Severity.ERROR),
+    "PSC603": CodeInfo("safety property proved within the explored space",
+                       Severity.NOTE),
+    "PSC604": CodeInfo("bound exhausted before a verdict", Severity.WARNING),
+    "PSC605": CodeInfo("abstract counterexample did not replay",
+                       Severity.WARNING),
+    "PSC610": CodeInfo("deadline proven: worst realizable cycle within the "
+                       "period", Severity.NOTE),
+    "PSC611": CodeInfo("deadline violation proven (witness replayed)",
+                       Severity.ERROR),
+    "PSC612": CodeInfo("heuristic deadline violation refuted within the "
+                       "bound", Severity.NOTE),
 }
 
 #: Codes that are off unless explicitly enabled.  PSC202 fires on every

@@ -23,6 +23,22 @@ Static analysis subcommand (see docs/ANALYSIS.md)::
                                  [--suppress CODES] [--enable CODES]
     python -m repro lint --workload smd|elevator
 
+Bounded model checking subcommand (see docs/CHECKING.md)::
+
+    python -m repro check PROJECT [--properties FILE] [--depth N]
+                                  [--max-states N] [--witness-dir DIR]
+                                  [--format text|json|sarif] [--out PATH]
+    python -m repro check --workload smd|elevator
+
+``check`` explores every configuration the machine's step semantics can
+reach within the bound (enable-products prune the event alphabet per
+state) and decides the declared properties: ``never A while B``,
+``never COND in S``, ``always reach S within k cycles of E`` and
+``deadline E [n]``.  Proofs are exhaustive within the bound; every
+counterexample is replayed on the real machine (witness + forensics
+bundle under ``--witness-dir``) before it is reported.  Exit 0 proved,
+1 violated, 2 bad input, 3 bound exhausted.
+
 ``lint`` runs the cross-layer analyzer: chart well-formedness and design
 smells, transition determinism (shadowing/priority overlap), AND-region
 write-write races, action-routine dataflow (use-before-init, dead stores,
@@ -210,6 +226,22 @@ def _arch_for_chart(chart, routine_text: str, args):
     arch = arch.with_(n_teps=teps, mutual_exclusions=exclusions,
                       microcode_optimized=optimize)
     return arch, optimize
+
+
+def _routine_error(exc, source_path):
+    """A routine parse/check failure as a PSC301 diagnostic, its line
+    shifted back past the internal type preamble into the user's file."""
+    from repro.action.stdlib import PREAMBLE
+    from repro.analysis import Diagnostic, Severity, SourceLocation
+
+    offset = PREAMBLE.count("\n") + 1
+    line = getattr(exc, "line", None)
+    if line is not None and line > offset:
+        line -= offset
+    return Diagnostic(
+        code="PSC301", severity=Severity.ERROR,
+        message=f"routines do not parse: {exc}",
+        location=SourceLocation(file=source_path, line=line))
 
 
 def _build_for_simulation(chart, routine_text: str, args):
@@ -1029,6 +1061,11 @@ def run_fuzz(argv: List[str], out=sys.stdout) -> int:
                              "must catch and bisect it back to STAGE")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking diverging charts")
+    parser.add_argument("--bmc", action="store_true",
+                        help="cross-check every clean chart with the "
+                             "bounded model checker: implied mutual "
+                             "exclusions, oracle agreement and a "
+                             "counterexample-replay canary")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the canonical JSON report to PATH")
     parser.add_argument("--replay", default=None, metavar="DIR",
@@ -1061,7 +1098,7 @@ def run_fuzz(argv: List[str], out=sys.stdout) -> int:
     campaign = FuzzCampaign(seed=args.seed, charts=args.charts,
                             cycles=args.cycles, max_rungs=args.rungs,
                             canary_stage=args.canary,
-                            shrink=not args.no_shrink)
+                            shrink=not args.no_shrink, bmc=args.bmc)
     report = campaign.run()
     if args.out is not None:
         try:
@@ -1179,6 +1216,8 @@ def run_lint(argv: List[str], out=sys.stdout) -> int:
         render_sarif,
         render_text,
     )
+    from repro.action.check import CheckError
+    from repro.action.parser import ActionParseError
     from repro.statechart.model import ChartError
     from repro.statechart.parser import ParseError
 
@@ -1217,7 +1256,14 @@ def run_lint(argv: List[str], out=sys.stdout) -> int:
             print(render_text([diagnostic], header=chart_path), file=out,
                   end="")
             return 2
-        arch, specialize = _arch_for_chart(chart, routine_text, args)
+        # architecture selection parses the routines before lint_system
+        # gets a chance to collect PSC301s; degrade to the same shape
+        try:
+            arch, specialize = _arch_for_chart(chart, routine_text, args)
+        except (ActionParseError, CheckError) as exc:
+            print(render_text([_routine_error(exc, source_path)],
+                              header=chart_path), file=out, end="")
+            return 2
 
     result = lint_system(
         chart, routine_text, arch,
@@ -1244,10 +1290,182 @@ def run_lint(argv: List[str], out=sys.stdout) -> int:
     return 1 if result.has_errors else 0
 
 
+def run_check(argv: List[str], out=sys.stdout) -> int:
+    """``repro check``: bounded model checking on the enable-product algebra.
+
+    Explores the chart's configuration space with the machine's step
+    semantics, decides the declared safety/deadline properties within the
+    bound and replays every counterexample on the real machine before
+    reporting it (see docs/CHECKING.md).
+
+    Exit status: 0 when every property is proved, 1 when a property is
+    violated (with a replaying witness), 2 when the inputs or properties
+    cannot be loaded, 3 when the bound was exhausted before a verdict.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="bounded model checker: proves `never`/`always reach`/"
+                    "`deadline` properties over every reachable "
+                    "configuration, or produces a machine-replayable "
+                    "counterexample (see docs/CHECKING.md)")
+    parser.add_argument("project", nargs="?", default=None,
+                        help="project directory (one *.sc + one *.c) or a "
+                             "chart file followed by a routine file")
+    parser.add_argument("routines", nargs="?", default=None,
+                        help="routine file (when PROJECT is a chart file)")
+    parser.add_argument("--workload", choices=["smd", "elevator"],
+                        help="check a shipped workload (with its shipped "
+                             "properties) instead of reading files")
+    parser.add_argument("--properties", default=None, metavar="FILE",
+                        help="sidecar property file (one property per "
+                             "line); chart-embedded `property` declarations "
+                             "are always checked too")
+    parser.add_argument("--depth", type=_positive_int, default=40,
+                        help="exploration depth bound in configuration "
+                             "cycles (default: 40)")
+    parser.add_argument("--max-states", type=_positive_int, default=20000,
+                        help="state budget for the exploration "
+                             "(default: 20000)")
+    parser.add_argument("--arch", choices=sorted(_ARCHS),
+                        help="architecture (default: auto-select)")
+    parser.add_argument("--teps", type=_positive_int, default=None,
+                        help="number of TEPs (default: 2 for the SMD chart)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="peephole + constant-argument specialization")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text", help="output format (default: text)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report to PATH instead of stdout")
+    parser.add_argument("--witness-dir", default=None, metavar="DIR",
+                        help="write <label>.pN.witness.json + forensics "
+                             "bundles for every confirmed violation")
+    parser.add_argument("--suppress", default=None, metavar="CODES",
+                        help="comma-separated diagnostic codes to drop")
+    parser.add_argument("--enable", default=None, metavar="CODES",
+                        help="comma-separated default-suppressed codes to "
+                             "re-enable")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import (
+        Diagnostic,
+        Severity,
+        SourceLocation,
+        known_code,
+        render_json,
+        render_sarif,
+        render_text,
+    )
+    from repro.action.check import CheckError
+    from repro.action.parser import ActionParseError
+    from repro.analysis.bmc import check_system
+    from repro.statechart.model import ChartError
+    from repro.statechart.parser import ParseError
+
+    for code in (_parse_code_list(args.suppress)
+                 + _parse_code_list(args.enable)):
+        if not known_code(code):
+            print(f"error: unknown diagnostic code {code!r}", file=out)
+            return 2
+
+    properties_text = properties_path = None
+    if args.properties is not None:
+        try:
+            with open(args.properties) as handle:
+                properties_text = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        properties_path = args.properties
+
+    if args.workload is not None:
+        (chart, routine_text, arch, specialize, _storage_map, system,
+         label) = _lint_workload(args.workload)
+        chart_path = f"{label}.sc"
+        if system is None:
+            system = build_system(chart, routine_text, arch,
+                                  specialize=specialize)
+        if properties_text is None:
+            if args.workload == "smd":
+                from repro.workloads import SMD_PROPERTIES
+                properties_text = SMD_PROPERTIES
+            else:
+                from repro.workloads.elevator import ELEVATOR_PROPERTIES
+                properties_text = ELEVATOR_PROPERTIES
+    else:
+        if args.project is None:
+            parser.error("PROJECT or --workload is required")
+        try:
+            chart_path, source_path = _resolve_paths(args.project,
+                                                     args.routines)
+            with open(chart_path) as handle:
+                chart_text = handle.read()
+            with open(source_path) as handle:
+                routine_text = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            chart = parse_chart(chart_text)
+        except (ParseError, ChartError) as exc:
+            diagnostic = Diagnostic(
+                code="PSC100", severity=Severity.ERROR,
+                message=f"chart does not parse: {exc}",
+                location=SourceLocation(file=chart_path,
+                                        line=getattr(exc, "line", None)))
+            print(render_text([diagnostic], header=chart_path), file=out,
+                  end="")
+            return 2
+        label = os.path.splitext(os.path.basename(chart_path))[0]
+        # building the system parses and checks the routines; a broken
+        # routine file is a bad input (exit 2), not a crash
+        try:
+            arch, specialize = _arch_for_chart(chart, routine_text, args)
+            system = build_system(chart, routine_text, arch,
+                                  specialize=specialize)
+        except (ActionParseError, CheckError) as exc:
+            print(render_text([_routine_error(exc, source_path)],
+                              header=chart_path), file=out, end="")
+            return 2
+
+    result = check_system(
+        chart, routine_text, system,
+        properties_text=properties_text, properties_path=properties_path,
+        depth=args.depth, max_states=args.max_states,
+        chart_path=chart_path, witness_dir=args.witness_dir, label=label,
+        suppress=_parse_code_list(args.suppress),
+        enable=_parse_code_list(args.enable))
+
+    renderer = {"text": lambda d: render_text(d, header=chart_path),
+                "json": render_json,
+                "sarif": render_sarif}[args.format]
+    report = renderer(result.diagnostics)
+    if args.out is not None:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(report)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}: {len(result.verdicts)} propert"
+              f"{'y' if len(result.verdicts) == 1 else 'ies'}, "
+              f"{result.errors} error(s)", file=out)
+    else:
+        print(report, file=out, end="" if report.endswith("\n") else "\n")
+    if result.truncation == "property errors":
+        return 2
+    if result.violated:
+        return 1
+    if result.undecided:
+        return 3
+    return 0
+
+
 def run(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "lint":
         return run_lint(argv[1:], out)
+    if argv and argv[0] == "check":
+        return run_check(argv[1:], out)
     if argv and argv[0] == "trace":
         return run_trace(argv[1:], out)
     if argv and argv[0] == "stats":

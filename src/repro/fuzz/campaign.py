@@ -58,9 +58,10 @@ class ChartOutcome:
     states: int
     transitions: int
     status: str  # clean | diverged | lint-error | roundtrip-error |
-    #              canary-unplantable
+    #              canary-unplantable | bmc-mismatch
     stages: List[str] = field(default_factory=list)
     lint_errors: List[str] = field(default_factory=list)
+    bmc: Optional[dict] = None
     divergence: Optional[Divergence] = None
     guilty_stage: Optional[str] = None
     bisect_verified: Optional[bool] = None
@@ -71,7 +72,7 @@ class ChartOutcome:
     shrunk_spec: Optional[dict] = None
 
     def to_json(self) -> dict:
-        return {
+        doc = {
             "index": self.index,
             "chart_seed": self.chart_seed,
             "name": self.name,
@@ -90,6 +91,10 @@ class ChartOutcome:
             "shrunk_chart": self.shrunk_chart,
             "shrunk_spec": self.shrunk_spec,
         }
+        if self.bmc is not None:
+            # only present under --bmc, so default reports stay byte-stable
+            doc["bmc"] = self.bmc
+        return doc
 
 
 @dataclass
@@ -157,7 +162,8 @@ class FuzzCampaign:
                  config: Optional[GeneratorConfig] = None,
                  max_rungs: Optional[int] = None,
                  canary_stage: Optional[str] = None,
-                 shrink: bool = True) -> None:
+                 shrink: bool = True,
+                 bmc: bool = False) -> None:
         self.seed = seed
         self.charts = charts
         self.cycles = cycles
@@ -165,6 +171,7 @@ class FuzzCampaign:
         self.max_rungs = max_rungs
         self.canary_stage = canary_stage
         self.shrink = shrink
+        self.bmc = bmc
 
     # ------------------------------------------------------------------
     def run(self) -> FuzzReport:
@@ -211,6 +218,11 @@ class FuzzCampaign:
             return outcome
         outcome.stages = result.stages
         if result.clean:
+            if self.bmc:
+                outcome.bmc, ok = self._bmc_cross_check(chart, source,
+                                                        harness)
+                if not ok:
+                    outcome.status = "bmc-mismatch"
             return outcome
 
         outcome.status = "diverged"
@@ -249,6 +261,97 @@ class FuzzCampaign:
                     and divergence.field == original.field)
 
         return predicate
+
+    # ------------------------------------------------------------------
+    _BMC_MAX_IMPLIED = 12
+
+    def _bmc_cross_check(self, chart, source, harness) -> tuple:
+        """Model-check the chart against what we already know is true.
+
+        Three independent probes of the checker (see docs/CHECKING.md):
+        implied mutual exclusions (non-co-occupiable state pairs must never
+        be reported violated), agreement (every configuration the reference
+        interpreter visited must exist in the explored space) and a canary
+        (a property over states we *watched* co-occupy must come back
+        violated with a machine-replaying witness).  Returns
+        ``(json-able summary, ok?)``.
+        """
+        from repro.analysis.bmc import VIOLATED, check_system
+        from repro.analysis.chart_lint import co_occupiable
+
+        summary: dict = {"implied": 0, "implied_violations": [],
+                         "agreement_misses": [], "canary": None,
+                         "complete": None, "nodes": 0}
+        ok = True
+
+        names = sorted(chart.states)
+        implied = []
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if not co_occupiable(chart, a, b):
+                    implied.append((a, b))
+            if len(implied) >= self._BMC_MAX_IMPLIED:
+                break
+        implied = implied[:self._BMC_MAX_IMPLIED]
+        summary["implied"] = len(implied)
+
+        reference = harness.reference_states()
+        canary_pair = None
+        for state in reference:
+            config = [s for s in state.configuration]
+            if len(config) >= 2:
+                canary_pair = (config[0], config[-1])
+                break
+
+        lines = [f"never {a} while {b}" for a, b in implied]
+        if canary_pair is not None:
+            lines.append(f"never {canary_pair[0]} while {canary_pair[1]}")
+        if not lines:
+            summary["canary"] = "no-properties"
+            return summary, ok
+
+        system = harness.rungs()[0].system
+        result = check_system(
+            chart, source, system,
+            properties_text="\n".join(lines) + "\n",
+            depth=self.cycles, max_states=4000,
+            include_declared_deadlines=False,
+            label=chart.name)
+        summary["complete"] = result.complete
+        summary["nodes"] = result.nodes
+
+        verdicts = list(result.verdicts)
+        canary_verdict = verdicts.pop() if canary_pair is not None else None
+        for (a, b), verdict in zip(implied, verdicts):
+            # configurations are tracked exactly, so even an *unreplayed*
+            # co-occupancy witness would mean the explorer is broken
+            if verdict.status == VIOLATED or verdict.witness is not None:
+                summary["implied_violations"].append(f"{a}/{b}")
+                ok = False
+
+        if result.space is not None and result.complete:
+            explored = {(node[0], node[1]) for node in result.space.nodes}
+            for cycle, state in enumerate(reference):
+                proj = (frozenset(state.configuration),
+                        frozenset(name for name, value in state.conditions
+                                  if value))
+                if proj not in explored:
+                    summary["agreement_misses"].append(cycle)
+                    ok = False
+            summary["agreement_checked"] = len(reference)
+
+        if canary_verdict is None:
+            summary["canary"] = "no-pair"
+        elif (canary_verdict.status == VIOLATED
+                and canary_verdict.witness is not None
+                and canary_verdict.witness.replayed):
+            summary["canary"] = "violated-replayed"
+        elif not result.complete:
+            summary["canary"] = "bound-exhausted"
+        else:
+            summary["canary"] = f"missed ({canary_verdict.status})"
+            ok = False
+        return summary, ok
 
 
 def _lint(chart, source) -> List[str]:

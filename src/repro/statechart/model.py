@@ -194,6 +194,19 @@ class State:
         return self.kind in (StateKind.OR, StateKind.AND)
 
 
+@dataclass(frozen=True)
+class PropertyDecl:
+    """A declared safety/deadline property, carried verbatim on the chart.
+
+    The text is the model checker's input language (see docs/CHECKING.md);
+    the chart itself only stores and round-trips it — parsing and checking
+    live in :mod:`repro.analysis.bmc`.
+    """
+
+    text: str
+    line: Optional[int] = None
+
+
 class ChartError(Exception):
     """Raised for structurally invalid charts or invalid queries on them."""
 
@@ -215,6 +228,8 @@ class Chart:
         self.conditions: Dict[str, Condition] = {}
         self.ports: Dict[str, Port] = {}
         self.transitions: List[Transition] = []
+        #: declared model-checking properties (docs/CHECKING.md), verbatim
+        self.properties: List[PropertyDecl] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -293,6 +308,12 @@ class Chart:
         port = Port(name, kind, width=width, address=address, direction=direction)
         self.ports[name] = port
         return port
+
+    def add_property(self, text: str,
+                     line: Optional[int] = None) -> PropertyDecl:
+        decl = PropertyDecl(text=text, line=line)
+        self.properties.append(decl)
+        return decl
 
     # ------------------------------------------------------------------
     # structural queries

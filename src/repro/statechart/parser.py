@@ -143,6 +143,7 @@ class _ChartParser:
         self.events: List[Tuple[str, Optional[int], Optional[str]]] = []
         self.conditions: List[Tuple[str, bool, Optional[str]]] = []
         self.ports: List[Tuple[str, PortKind, int, Optional[int], PortDirection]] = []
+        self.properties: List[Tuple[str, int]] = []
 
     # -- token helpers -------------------------------------------------
     def peek(self) -> Optional[_Token]:
@@ -184,6 +185,8 @@ class _ChartParser:
                 self.parse_condition()
             elif token.value == "port":
                 self.parse_port()
+            elif token.value == "property":
+                self.parse_property()
             else:
                 raise ParseError(f"unexpected token {token.value!r}", token.line)
         return self.build()
@@ -272,6 +275,18 @@ class _ChartParser:
                 raise ParseError(f"unexpected {item.value!r} in condition", item.line)
         self.conditions.append((name, initial, port))
 
+    def parse_property(self) -> None:
+        """``property "never A while B";`` — a model-checking property.
+
+        The chart stores the quoted text verbatim; the checking grammar is
+        owned by :mod:`repro.analysis.bmc` (docs/CHECKING.md).
+        """
+        self.take()  # 'property'
+        token = self.take("string")
+        text = token.value[1:-1].replace('\\"', '"')
+        self.accept(";")
+        self.properties.append((text, token.line))
+
     def parse_port(self) -> None:
         self.take()  # 'port'
         name = self.take("name").value
@@ -337,6 +352,8 @@ class _ChartParser:
         for name, kind, width, address, direction in self.ports:
             chart.add_port(name, kind, width=width, address=address,
                            direction=direction)
+        for text, line in self.properties:
+            chart.add_property(text, line=line)
 
         for name in self.order:
             decl = self.state_decls[name]
@@ -391,6 +408,9 @@ def emit_chart(chart: Chart) -> str:
         address = f" address {port.address}" if port.address is not None else ""
         lines.append(
             f"port {port.name} : {kind} width {port.width}{address} {direction};")
+    for decl in chart.properties:
+        escaped_text = decl.text.replace('"', '\\"')
+        lines.append(f'property "{escaped_text}";')
     lines.append("")
 
     keyword = {v: k for k, v in _STATE_KEYWORDS.items()}

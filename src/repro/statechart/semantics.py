@@ -59,6 +59,32 @@ class StepResult:
         return not self.fired
 
 
+def select_transitions(chart: Chart,
+                       enabled: List[Transition]) -> List[Transition]:
+    """Resolve conflicts among *enabled* transitions: outermost scope wins,
+    ties by declaration order.
+
+    This is the single implementation of the SLA's guard-signal exclusivity;
+    the interpreter and the bounded model checker
+    (:mod:`repro.analysis.bmc`) both call it so their step relations cannot
+    drift apart.
+    """
+    ranked = sorted(
+        enabled,
+        key=lambda t: (chart.depth(chart.transition_scope(t)), t.index))
+    chosen: List[Transition] = []
+    scopes: List[str] = []
+    for transition in ranked:
+        scope = chart.transition_scope(transition)
+        if any(chart.is_ancestor(s, scope) or chart.is_ancestor(scope, s)
+               for s in scopes):
+            continue
+        chosen.append(transition)
+        scopes.append(scope)
+    chosen.sort(key=lambda t: t.index)
+    return chosen
+
+
 class Interpreter:
     """Reference interpreter for a chart.
 
@@ -129,21 +155,7 @@ class Interpreter:
 
     def select(self, enabled: List[Transition]) -> List[Transition]:
         """Resolve conflicts: outermost scope wins, then declaration order."""
-        ranked = sorted(
-            enabled,
-            key=lambda t: (self.chart.depth(self.chart.transition_scope(t)),
-                           t.index))
-        chosen: List[Transition] = []
-        scopes: List[str] = []
-        for transition in ranked:
-            scope = self.chart.transition_scope(transition)
-            if any(self.chart.is_ancestor(s, scope) or self.chart.is_ancestor(scope, s)
-                   for s in scopes):
-                continue
-            chosen.append(transition)
-            scopes.append(scope)
-        chosen.sort(key=lambda t: t.index)
-        return chosen
+        return select_transitions(self.chart, enabled)
 
     def step(self, events: Iterable[str] = ()) -> StepResult:
         """Run one configuration cycle with the given external events."""

@@ -35,6 +35,7 @@ from repro.workloads.motors import (
 )
 from repro.workloads.smd import (
     SMD_MUTUAL_EXCLUSIONS,
+    SMD_PROPERTIES,
     SMD_ROUTINES,
     TABLE2_PAPER,
     TABLE3_PAPER,
@@ -46,7 +47,8 @@ __all__ = [
     "ClosedLoopReport", "DATA_VALID_PERIOD_CYCLES", "MotorSpec",
     "Motor", "MoveCommand", "PHI_DEADLINE_CYCLES", "PHI_MOTOR",
     "ProfileError", "REFERENCE_CLOCK_HZ", "SMD_MOTORS",
-    "SMD_MUTUAL_EXCLUSIONS", "SMD_ROUTINES", "SmdClosedLoop",
+    "SMD_MUTUAL_EXCLUSIONS", "SMD_PROPERTIES", "SMD_ROUTINES",
+    "SmdClosedLoop",
     "TABLE2_PAPER", "TABLE3_PAPER", "TABLE4_PAPER", "TrapezoidalProfile",
     "X_MOTOR", "XY_DEADLINE_CYCLES", "Y_MOTOR", "Z_MOTOR",
     "move_duration_cycles", "parallel_servers", "pipeline_chart",

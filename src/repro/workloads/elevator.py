@@ -198,3 +198,18 @@ void ClearCall() {
   queue_depth = queue_depth - 1;
 }
 """ + _cab_routines(0) + _cab_routines(1)
+
+
+#: Shipped model-check properties (``repro check --workload elevator``).
+#: BUSY{cab} must be clear whenever the cab is parked (Plan sets it, ParkCab
+#: clears it), doors never open mid-travel, and every constrained event's
+#: worst realizable cycle stays within its declared period.
+ELEVATOR_PROPERTIES = """\
+never BUSY0 in Parked0
+never BUSY1 in Parked1
+never DoorOpen0 while Moving0
+never DoorOpen1 while Moving1
+deadline HALL_CALL
+deadline DOOR_BLOCKED0
+deadline DOOR_BLOCKED1
+"""

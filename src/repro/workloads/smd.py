@@ -364,3 +364,18 @@ void FinishMove() {
   Status = 4;
 }
 """
+
+
+#: Shipped model-check properties (``repro check --workload smd``).  The
+#: never-properties pin the paper's safety story (the error state aborts
+#: motion; Idle1 only waits for data); the deadline declarations upgrade
+#: the timing validator's heuristic event-cycle estimates to bounded-model
+#: -checking proofs over every reachable configuration.
+SMD_PROPERTIES = """\
+never Errstate while Moving
+never MOVEMENT in Idle1
+deadline DATA_VALID
+deadline X_PULSE
+deadline Y_PULSE
+deadline PHI_PULSE
+"""

@@ -1,0 +1,86 @@
+chart bmc_bounded;
+
+event TICK period 1000;
+
+orstate Chain {
+  contains S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11, S12;
+  default S0;
+}
+basicstate S0 {
+  transition {
+    target S1;
+    label "TICK";
+  }
+}
+basicstate S1 {
+  transition {
+    target S2;
+    label "TICK";
+  }
+}
+basicstate S2 {
+  transition {
+    target S3;
+    label "TICK";
+  }
+}
+basicstate S3 {
+  transition {
+    target S4;
+    label "TICK";
+  }
+}
+basicstate S4 {
+  transition {
+    target S5;
+    label "TICK";
+  }
+}
+basicstate S5 {
+  transition {
+    target S6;
+    label "TICK";
+  }
+}
+basicstate S6 {
+  transition {
+    target S7;
+    label "TICK";
+  }
+}
+basicstate S7 {
+  transition {
+    target S8;
+    label "TICK";
+  }
+}
+basicstate S8 {
+  transition {
+    target S9;
+    label "TICK";
+  }
+}
+basicstate S9 {
+  transition {
+    target S10;
+    label "TICK";
+  }
+}
+basicstate S10 {
+  transition {
+    target S11;
+    label "TICK";
+  }
+}
+basicstate S11 {
+  transition {
+    target S12;
+    label "TICK";
+  }
+}
+basicstate S12 {
+  transition {
+    target S0;
+    label "TICK";
+  }
+}

@@ -1,0 +1,1 @@
+int:16 unused;

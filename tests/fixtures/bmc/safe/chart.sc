@@ -1,0 +1,32 @@
+chart bmc_safe;
+
+event GO period 10000;
+event STOP period 10000;
+condition BUSY;
+
+orstate Main {
+  contains Idle, Work, Done;
+  default Idle;
+}
+basicstate Idle {
+  transition {
+    target Work;
+    label "GO/Begin()";
+  }
+}
+basicstate Work {
+  transition {
+    target Work;
+    label "GO";
+  }
+  transition {
+    target Done;
+    label "STOP/Finish()";
+  }
+}
+basicstate Done {
+  transition {
+    target Work;
+    label "GO/Begin()";
+  }
+}

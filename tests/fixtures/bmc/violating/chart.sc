@@ -1,0 +1,44 @@
+chart bmc_violating;
+
+event ARM period 1000;
+event TICK period 1000;
+condition ARMED;
+
+property "never Armed while Running";
+property "never ARMED in Running";
+
+andstate Sys {
+  contains Ctrl, Motor;
+}
+orstate Ctrl {
+  contains CIdle, Armed;
+  default CIdle;
+}
+basicstate CIdle {
+  transition {
+    target Armed;
+    label "ARM/SetTrue(ARMED)";
+  }
+}
+basicstate Armed {
+  transition {
+    target CIdle;
+    label "TICK [not ARMED]";
+  }
+}
+orstate Motor {
+  contains MIdle, Running;
+  default MIdle;
+}
+basicstate MIdle {
+  transition {
+    target Running;
+    label "TICK [ARMED]/Spin()";
+  }
+}
+basicstate Running {
+  transition {
+    target MIdle;
+    label "ARM/Halt()";
+  }
+}

@@ -1,0 +1,10 @@
+int:16 spins;
+
+void Spin() {
+  spins = spins + 1;
+}
+
+void Halt() {
+  spins = 0;
+  SetFalse(ARMED);
+}

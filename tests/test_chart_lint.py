@@ -11,6 +11,7 @@ from repro.analysis.chart_lint import (
     jointly_satisfiable,
     orthogonal,
     quiescence,
+    union_covers,
     wellformedness,
 )
 from repro.analysis.effects import (
@@ -48,6 +49,72 @@ class TestEnableAlgebra:
 
     def test_unsatisfiable_loser_is_covered(self):
         assert covers([product("GO")], [])
+
+    def test_empty_product_lists(self):
+        # an empty SOP is FALSE: nothing satisfies it, everything covers it
+        assert not jointly_satisfiable([], [product("GO")])
+        assert not jointly_satisfiable([product("GO")], [])
+        assert not jointly_satisfiable([], [])
+        assert covers([], [])
+        assert not covers([], [product("GO")])
+
+    def test_negated_condition_products(self):
+        chart = parse_chart("""
+chart neg;
+event GO;
+condition X;
+condition Y;
+orstate Main { contains A, B; default A; }
+basicstate A {
+  transition { target B; label "GO [not (X and Y)]"; }
+}
+basicstate B { }
+""")
+        products = enable_products(chart.transitions[0])
+        # De Morgan: GO and (not X or not Y)
+        assert set(products) == {
+            (frozenset({"GO"}), frozenset({"X"})),
+            (frozenset({"GO"}), frozenset({"Y"})),
+        }
+
+    def test_contradictory_product_dropped(self):
+        chart = parse_chart("""
+chart contra;
+event GO;
+condition X;
+orstate Main { contains A, B; default A; }
+basicstate A {
+  transition { target B; label "GO [X and not X]"; }
+}
+basicstate B { }
+""")
+        assert enable_products(chart.transitions[0]) == []
+
+
+class TestUnionCovers:
+    def test_split_on_one_literal(self):
+        winners = [[product("GO", "X")], [product("GO", neg=("X",))]]
+        assert union_covers(winners, [product("GO")])
+
+    def test_no_single_winner_covers(self):
+        winners = [[product("GO", "X")], [product("GO", neg=("X",))]]
+        for winner in winners:
+            assert not covers(winner, [product("GO")])
+
+    def test_gap_in_union_is_not_covered(self):
+        # GO[X] + GO[Y] leave GO[not X and not Y] enabled
+        winners = [[product("GO", "X")], [product("GO", "Y")]]
+        assert not union_covers(winners, [product("GO")])
+
+    def test_single_winner_still_covers(self):
+        assert union_covers([[product("GO")]], [product("GO", "X")])
+
+    def test_empty_loser_is_covered(self):
+        assert union_covers([[product("GO")]], [])
+
+    def test_disjoint_winner_removes_nothing(self):
+        winners = [[product("HALT")]]
+        assert not union_covers(winners, [product("GO", neg=("HALT",))])
 
 
 class TestDeterminism:
@@ -114,6 +181,75 @@ basicstate A { transition { target B; label "GO"; } }
 basicstate B { transition { target A; label "GO"; } }
 """)
         assert determinism(chart) == []
+
+    def test_union_shadowing_is_psc205(self):
+        # neither GO[X] nor GO[not X] covers bare GO, but together they do
+        chart = self.chart("""
+orstate Main { contains A, B, C, D; default A; }
+basicstate A {
+  transition { target B; label "GO [X]"; }
+  transition { target C; label "GO [not X]"; }
+  transition { target D; label "GO"; }
+}
+basicstate B { }
+basicstate C { }
+basicstate D { }
+""")
+        codes = [d.code for d in determinism(chart)]
+        assert codes.count("PSC205") == 1
+        assert "PSC201" not in codes
+        message = next(d for d in determinism(chart)
+                       if d.code == "PSC205").message
+        assert "A --GO--> D" in message and "union" in message
+
+    def test_union_with_gap_is_not_psc205(self):
+        # GO[X] + HALT[not X] leave GO[not X and not HALT] enabled
+        chart = self.chart("""
+orstate Main { contains A, B, C, D; default A; }
+basicstate A {
+  transition { target B; label "GO [X]"; }
+  transition { target C; label "HALT [not X]"; }
+  transition { target D; label "GO"; }
+}
+basicstate B { }
+basicstate C { }
+basicstate D { }
+""")
+        codes = [d.code for d in determinism(chart)]
+        assert "PSC205" not in codes and "PSC201" not in codes
+
+    def test_single_cover_stays_psc201_not_psc205(self):
+        chart = self.chart("""
+orstate Main { contains A, B, C, D; default A; }
+basicstate A {
+  transition { target B; label "GO [X]"; }
+  transition { target C; label "GO"; }
+  transition { target D; label "GO [not X]"; }
+}
+basicstate B { }
+basicstate C { }
+basicstate D { }
+""")
+        codes = [d.code for d in determinism(chart)]
+        assert "PSC201" in codes
+        assert "PSC205" not in codes
+
+    def test_scope_priority_union_shadows_inner_transition(self):
+        # the two outer-scope transitions beat the inner one jointly
+        chart = self.chart("""
+orstate Main { contains Outer, E; default Outer; }
+orstate Outer {
+  contains A, B;
+  default A;
+  transition { target E; label "GO [X]"; }
+  transition { target E; label "GO [not X]"; }
+}
+basicstate A { transition { target B; label "GO"; } }
+basicstate B { }
+basicstate E { }
+""")
+        codes = [d.code for d in determinism(chart)]
+        assert codes.count("PSC205") == 1
 
 
 RACE_CHART = """

@@ -55,6 +55,38 @@ class TestCampaignDeterminism:
         assert "Fuzz campaign" in text
         assert "Guilty stage" in text
 
+    def test_default_report_has_no_bmc_key(self):
+        # the bmc field only serializes under --bmc: goldens stay stable
+        report = FuzzCampaign(seed=5, charts=1, cycles=10, config=SMALL,
+                              max_rungs=1).run()
+        doc = json.loads(report.dumps())
+        assert all("bmc" not in o for o in doc["outcomes"])
+
+
+class TestBmcStage:
+    def test_bmc_cross_check_passes_on_clean_charts(self):
+        report = FuzzCampaign(seed=5, charts=3, cycles=12, config=SMALL,
+                              max_rungs=1, bmc=True).run()
+        assert report.clean
+        for outcome in report.outcomes:
+            assert outcome.bmc is not None
+            assert outcome.bmc["implied_violations"] == []
+            assert outcome.bmc["agreement_misses"] == []
+            # the canary: a property over states we watched co-occupy
+            # must come back violated with a machine-replaying witness
+            assert outcome.bmc["canary"] in ("violated-replayed",
+                                             "bound-exhausted", "no-pair")
+        assert any(o.bmc["canary"] == "violated-replayed"
+                   for o in report.outcomes)
+
+    def test_bmc_reports_are_deterministic(self):
+        kwargs = dict(seed=7, charts=2, cycles=10, config=SMALL,
+                      max_rungs=1, bmc=True)
+        first = FuzzCampaign(**kwargs).run().dumps()
+        second = FuzzCampaign(**kwargs).run().dumps()
+        assert first == second
+        assert '"bmc"' in first
+
 
 class TestCanaryCampaign:
     def test_canary_caught_bisected_and_shrunk(self):
